@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the same code paths as the experiment harness at the
+``tiny`` scale (the CLI regenerates the paper-scale rows; these keep the
+regression signal cheap).  Heavy end-to-end benches use
+``benchmark.pedantic(rounds=1)`` — their interesting output is the shape
+of the result, not nanosecond stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import LUBM, MDC, UOBM
+from repro.experiments.common import SCALES
+
+
+@pytest.fixture(scope="session")
+def tiny_scale():
+    return SCALES["tiny"]
+
+
+@pytest.fixture(scope="session")
+def lubm_tiny():
+    return LUBM(4, seed=0, departments_per_university=1,
+                faculty_per_department=2, students_per_faculty=3)
+
+
+@pytest.fixture(scope="session")
+def uobm_tiny():
+    return UOBM(3, seed=0, departments_per_university=1,
+                faculty_per_department=2, students_per_faculty=3)
+
+
+@pytest.fixture(scope="session")
+def mdc_tiny():
+    return MDC(4, seed=0, wells_per_field=3, hierarchy_depth=5)

@@ -1,0 +1,48 @@
+"""Micro-benches for the substrate hot paths: store insert/match, N-Triples
+round-trip, and rule compilation."""
+
+from repro.datasets.lubm import lubm_ontology
+from repro.owl.compiler import compile_ontology
+from repro.rdf import Graph, URI, parse_ntriples, serialize_ntriples
+
+
+def _make_trizzle(n):
+    g = Graph()
+    for i in range(n):
+        g.add_spo(URI(f"ex:s{i % 97}"), URI(f"ex:p{i % 7}"), URI(f"ex:o{i}"))
+    return g
+
+
+def test_bench_graph_insert(benchmark):
+    g = benchmark(_make_trizzle, 2000)
+    assert len(g) == 2000
+
+
+def test_bench_graph_match_bound_predicate(benchmark):
+    g = _make_trizzle(2000)
+    p = URI("ex:p3")
+    count = benchmark(lambda: sum(1 for _ in g.match(None, p, None)))
+    assert count > 0
+
+
+def test_bench_graph_match_bound_subject(benchmark):
+    g = _make_trizzle(2000)
+    s = URI("ex:s13")
+    count = benchmark(lambda: sum(1 for _ in g.match(s, None, None)))
+    assert count > 0
+
+
+def test_bench_ntriples_round_trip(benchmark):
+    g = _make_trizzle(1000)
+
+    def round_trip():
+        return Graph(parse_ntriples(serialize_ntriples(g)))
+
+    restored = benchmark(round_trip)
+    assert restored == g
+
+
+def test_bench_compile_lubm_ontology(benchmark):
+    tbox = lubm_ontology()
+    crs = benchmark(lambda: compile_ontology(tbox))
+    assert len(crs.rules) > 30

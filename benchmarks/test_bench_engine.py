@@ -1,0 +1,86 @@
+"""Ablation benches for the reasoning engines.
+
+DESIGN.md §5: semi-naive vs naive evaluation, and forward vs the
+(deliberately Jena-shaped, super-linear) backward materialization.
+"""
+
+import pytest
+
+from repro.datalog import NaiveEngine, SemiNaiveEngine, parse_rules
+from repro.datalog.backward import materialize_backward
+from repro.owl import HorstReasoner
+from repro.rdf import Graph, URI
+
+TRANS = parse_rules("@prefix ex: <ex:>\n"
+                    "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
+
+
+def _chain(n):
+    g = Graph()
+    for i in range(n):
+        g.add_spo(URI(f"ex:n{i}"), URI("ex:p"), URI(f"ex:n{i + 1}"))
+    return g
+
+
+def test_bench_semi_naive(benchmark):
+    result = benchmark(lambda: SemiNaiveEngine(TRANS).run(_chain(25)))
+    benchmark.extra_info["join_probes"] = result.stats.join_probes
+
+
+def test_bench_naive(benchmark):
+    result = benchmark(lambda: NaiveEngine(TRANS).run(_chain(25)))
+    benchmark.extra_info["join_probes"] = result.stats.join_probes
+
+
+def test_ablation_semi_naive_beats_naive():
+    semi = SemiNaiveEngine(TRANS).run(_chain(30))
+    naive = NaiveEngine(TRANS).run(_chain(30))
+    # Transitive chains converge in few rounds, so the gap is moderate
+    # here; the margin widens with iteration count (see the unit test on
+    # longer mixed rule sets).
+    assert semi.stats.join_probes < 0.75 * naive.stats.join_probes
+
+
+def test_bench_forward_materialization(benchmark, lubm_tiny):
+    reasoner = HorstReasoner(lubm_tiny.ontology)
+    result = benchmark.pedantic(
+        lambda: reasoner.materialize(lubm_tiny.data, strategy="forward"),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["work"] = result.work
+
+
+def test_bench_backward_materialization(benchmark, lubm_tiny):
+    reasoner = HorstReasoner(lubm_tiny.ontology)
+    result = benchmark.pedantic(
+        lambda: reasoner.materialize(lubm_tiny.data, strategy="backward"),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["work"] = result.work
+
+
+def test_ablation_backward_costs_more_than_forward(lubm_tiny):
+    """The whole premise of the super-linear speedup: the Jena-style driver
+    does far more work than bottom-up evaluation for the same closure."""
+    reasoner = HorstReasoner(lubm_tiny.ontology)
+    fwd = reasoner.materialize(lubm_tiny.data, strategy="forward")
+    bwd = reasoner.materialize(lubm_tiny.data, strategy="backward")
+    assert fwd.graph == bwd.graph
+    assert bwd.work > 5 * fwd.work
+
+
+def test_ablation_shared_tables_amortize(lubm_tiny):
+    """share_tables=True (one engine across per-resource queries) can only
+    reduce proof work.  The measured saving is small: with SCC-scoped
+    completion, per-resource proof trees barely overlap — evidence that
+    the materialization cost really is per-resource (the polynomial regime
+    Section VI describes), not an artifact of redundant sub-proofs."""
+    reasoner = HorstReasoner(lubm_tiny.ontology)
+    _, fresh = materialize_backward(
+        lubm_tiny.data, reasoner.rules, candidate_probing=False
+    )
+    _, shared = materialize_backward(
+        lubm_tiny.data, reasoner.rules, share_tables=True,
+        candidate_probing=False,
+    )
+    assert shared.goals_expanded <= fresh.goals_expanded

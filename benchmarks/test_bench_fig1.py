@@ -1,0 +1,44 @@
+"""Bench for Fig 1: data-partitioning (graph policy) parallel materialization.
+
+Regenerates the Fig 1 rows for each dataset at k=4 and asserts the paper's
+shape on the machine-independent work units: MDC super-linear, UOBM
+sub-linear.
+"""
+
+import pytest
+
+from repro.experiments.common import measure_serial, speedup_series
+from repro.partitioning.policies import GraphPartitioningPolicy
+
+K = 4
+
+
+def _series(dataset):
+    return speedup_series(
+        dataset,
+        ks=(1, K),
+        approach="data",
+        policy_factory=lambda: GraphPartitioningPolicy(seed=0),
+        strategy="backward",
+    )
+
+
+@pytest.mark.parametrize("dataset_fixture", ["lubm_tiny", "uobm_tiny", "mdc_tiny"])
+def test_bench_fig1_speedup(benchmark, dataset_fixture, request):
+    dataset = request.getfixturevalue(dataset_fixture)
+    points = benchmark.pedantic(_series, args=(dataset,), rounds=1, iterations=1)
+    point = points[-1]
+    benchmark.extra_info["speedup"] = round(point.speedup, 2)
+    benchmark.extra_info["work_speedup"] = round(point.work_speedup, 2)
+    # Everyone must at least gain from partitioning, in work terms.
+    assert point.work_speedup > 1.0
+
+
+def test_fig1_shape_mdc_superlinear_vs_uobm_sublinear(mdc_tiny, uobm_tiny):
+    """The paper's headline contrast, in work units."""
+    mdc = _series(mdc_tiny)[-1]
+    uobm = _series(uobm_tiny)[-1]
+    assert uobm.work_speedup < K, "UOBM must stay sub-linear"
+    assert mdc.work_speedup > uobm.work_speedup, (
+        "the cleanly-partitionable dataset must beat the dense one"
+    )

@@ -1,0 +1,39 @@
+"""Bench for Fig 2: the reasoning/IO/sync/aggregation overhead breakdown.
+
+Regenerates the LUBM file-IPC breakdown at two k values and asserts the
+paper's shape: per-partition reasoning shrinks with k while the
+communication share (IO + sync) grows.
+"""
+
+from repro.parallel import CostModel, ParallelReasoner, SimulatedCluster
+from repro.partitioning.policies import GraphPartitioningPolicy
+
+
+def _breakdown(dataset, k):
+    reasoner = ParallelReasoner(
+        dataset.ontology, k=k, approach="data",
+        policy=GraphPartitioningPolicy(seed=0), strategy="backward",
+    )
+    run = SimulatedCluster(reasoner, CostModel.file_ipc()).run(dataset.data)
+    return run.breakdown()
+
+
+def test_bench_fig2_breakdown(benchmark, lubm_tiny):
+    breakdown = benchmark.pedantic(
+        _breakdown, args=(lubm_tiny, 4), rounds=1, iterations=1
+    )
+    benchmark.extra_info["reasoning_s"] = round(breakdown.reasoning, 4)
+    benchmark.extra_info["io_s"] = round(breakdown.io, 4)
+    benchmark.extra_info["sync_s"] = round(breakdown.sync, 4)
+    assert breakdown.total > 0
+
+
+def test_fig2_shape_comm_share_grows_with_k(lubm_tiny):
+    b2 = _breakdown(lubm_tiny, 2)
+    b4 = _breakdown(lubm_tiny, 4)
+    # Reasoning per partition shrinks as partitions shrink...
+    assert b4.reasoning < b2.reasoning
+    # ...while the communication share of the total grows.
+    share2 = (b2.io + b2.sync) / b2.total
+    share4 = (b4.io + b4.sync) / b4.total
+    assert share4 > share2

@@ -1,0 +1,49 @@
+"""Bench for Fig 3: measured vs theoretical-max speedup (LUBM).
+
+Fits the work-unit cubic from a size sweep and checks the measured
+work-speedup stays below (and within sight of) the model's ideal.
+"""
+
+from repro.experiments.common import speedup_series
+from repro.partitioning.policies import GraphPartitioningPolicy
+from repro.perfmodel import PerformancePoint, fit_cubic, theoretical_max_speedup
+from repro.datasets import LUBM
+from repro.owl import HorstReasoner
+
+_PROFILE = dict(departments_per_university=1, faculty_per_department=2,
+                students_per_faculty=3)
+
+
+def _sweep_and_compare(k=4):
+    points = []
+    for universities in (1, 2, 3, 4):
+        ds = LUBM(universities, seed=0, **_PROFILE)
+        res = HorstReasoner(ds.ontology).materialize(ds.data, strategy="backward")
+        points.append(
+            PerformancePoint(size=len(ds.data.resources()), time=res.work)
+        )
+    model = fit_cubic(points)
+
+    dataset = LUBM(4, seed=0, **_PROFILE)
+    measured = speedup_series(
+        dataset, ks=(1, k), approach="data",
+        policy_factory=lambda: GraphPartitioningPolicy(seed=0),
+        strategy="backward",
+    )[-1]
+    theory = theoretical_max_speedup(
+        model, len(dataset.data.resources()), k
+    )
+    return measured, theory, model
+
+
+def test_bench_fig3(benchmark):
+    measured, theory, model = benchmark.pedantic(
+        _sweep_and_compare, rounds=1, iterations=1
+    )
+    benchmark.extra_info["measured_work_speedup"] = round(measured.work_speedup, 2)
+    benchmark.extra_info["theoretical_max"] = round(theory, 2)
+    benchmark.extra_info["r_squared"] = round(model.r_squared, 4)
+    # Paper shape: measured below the replication-free, perfectly balanced
+    # ideal, but within a small factor of it.
+    assert measured.work_speedup <= theory * 1.05
+    assert measured.work_speedup > theory / 8

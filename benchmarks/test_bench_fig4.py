@@ -1,0 +1,42 @@
+"""Bench for Fig 4: the serial size sweep and cubic regression."""
+
+from repro.datasets import LUBM
+from repro.owl import HorstReasoner
+from repro.perfmodel import PerformancePoint, fit_cubic
+
+_PROFILE = dict(departments_per_university=1, faculty_per_department=2,
+                students_per_faculty=3)
+_SIZES = (1, 2, 3, 4, 5)
+
+
+def _sweep():
+    points = []
+    for universities in _SIZES:
+        ds = LUBM(universities, seed=0, **_PROFILE)
+        res = HorstReasoner(ds.ontology).materialize(ds.data, strategy="backward")
+        points.append(
+            PerformancePoint(size=len(ds.data.resources()), time=res.work,
+                             label=f"LUBM-{universities}")
+        )
+    return points
+
+
+def test_bench_fig4_sweep_and_fit(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    model = fit_cubic(points)
+    benchmark.extra_info["model"] = model.describe()
+    # Paper shape: an excellent polynomial fit...
+    assert model.r_squared > 0.99
+    # ...that is super-linear over the measured range (the Fig 1/3 driver):
+    first, last = points[0], points[-1]
+    growth = (last.time / first.time) / (last.size / first.size)
+    benchmark.extra_info["superlinearity"] = round(growth, 2)
+    assert growth > 1.1
+
+
+def test_fig4_fit_is_stable_under_seed():
+    pts_a = _sweep()
+    model_a = fit_cubic(pts_a)
+    model_b = fit_cubic(_sweep())
+    # Work units are deterministic: identical fits run to run.
+    assert model_a.coefficients == model_b.coefficients

@@ -1,0 +1,48 @@
+"""Bench for Fig 5: the three data-partitioning policies compared.
+
+Asserts the paper's ranking on replication (IR): hash is far worse than
+graph and domain, and blows past the memory-feasibility line at larger k
+while the other two stay comfortably under it.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import MEMORY_BUDGET_FACTOR
+from repro.partitioning import compute_data_metrics, partition_data
+from repro.partitioning.policies import (
+    DomainPartitioningPolicy,
+    GraphPartitioningPolicy,
+    HashPartitioningPolicy,
+)
+
+K = 4
+
+
+def _metrics(dataset, policy, k=K):
+    result = partition_data(dataset.data, policy, k)
+    return compute_data_metrics(result, dataset.data)
+
+
+@pytest.mark.parametrize("policy_name", ["graph", "domain", "hash"])
+def test_bench_fig5_policy(benchmark, lubm_tiny, policy_name):
+    factories = {
+        "graph": lambda: GraphPartitioningPolicy(seed=0),
+        "domain": lambda: DomainPartitioningPolicy(lubm_tiny.domain_grouper),
+        "hash": lambda: HashPartitioningPolicy(),
+    }
+    metrics = benchmark(_metrics, lubm_tiny, factories[policy_name]())
+    benchmark.extra_info["IR"] = round(metrics.duplication, 3)
+    benchmark.extra_info["bal"] = round(metrics.bal, 1)
+
+
+def test_fig5_shape_policy_ranking(lubm_tiny):
+    graph = _metrics(lubm_tiny, GraphPartitioningPolicy(seed=0))
+    domain = _metrics(lubm_tiny, DomainPartitioningPolicy(lubm_tiny.domain_grouper))
+    hash_ = _metrics(lubm_tiny, HashPartitioningPolicy())
+    # Paper: graph ~= domain (both small IR), hash far worse.
+    assert graph.duplication < 0.5
+    assert domain.duplication < 0.5
+    assert hash_.duplication > 2 * max(graph.duplication, domain.duplication)
+    # The paper's 8/16-node hash runs died of memory; our feasibility rule
+    # must reject hash well before the locality-aware policies.
+    assert hash_.input_replication > MEMORY_BUDGET_FACTOR or hash_.duplication > 0.5

@@ -1,0 +1,37 @@
+"""Bench for Fig 6: rule-partitioning speedups (shared memory)."""
+
+import pytest
+
+from repro.experiments.common import speedup_series
+from repro.parallel.costmodel import CostModel
+
+
+def _series(dataset, ks):
+    return speedup_series(
+        dataset, ks=ks, approach="rule", strategy="forward",
+        cost_model=CostModel.shared_memory(),
+    )
+
+
+@pytest.mark.parametrize("dataset_fixture", ["lubm_tiny", "uobm_tiny", "mdc_tiny"])
+def test_bench_fig6(benchmark, dataset_fixture, request):
+    dataset = request.getfixturevalue(dataset_fixture)
+    points = benchmark.pedantic(
+        _series, args=(dataset, (1, 3)), rounds=1, iterations=1
+    )
+    point = points[-1]
+    benchmark.extra_info["work_speedup"] = round(point.work_speedup, 2)
+    # Paper shape: a gain, but sub-linear.
+    assert 1.0 <= point.work_speedup < 3.0
+
+
+def test_fig6_shape_monotonic_work_speedup(lubm_tiny, mdc_tiny):
+    """LUBM's many-rule workload gives clean monotonicity at tiny scale;
+    MDC's three indivisible heavy rules make exact monotonicity fragile
+    when k crosses their count, so it gets the weaker always-a-gain check
+    (the paper's runs, at 1000x the size, smooth this out)."""
+    lubm_speeds = [p.work_speedup for p in _series(lubm_tiny, (1, 2, 3))]
+    assert lubm_speeds == sorted(lubm_speeds), f"not monotonic: {lubm_speeds}"
+    mdc_speeds = [p.work_speedup for p in _series(mdc_tiny, (1, 2, 3))]
+    assert all(s >= 1.0 for s in mdc_speeds)
+    assert max(mdc_speeds) > 1.3

@@ -1,0 +1,51 @@
+"""Ablation benches for the multilevel partitioner: refinement on/off."""
+
+import numpy as np
+import pytest
+
+from repro.graphpart import CSRGraph, MultilevelPartitioner
+from repro.util.seeding import rng_for
+
+
+@pytest.fixture(scope="module")
+def clustered_graph():
+    """Four clusters of 150 vertices with sparse cross-links."""
+    rng = rng_for(7, "bench-graph")
+    edges = []
+    for c in range(4):
+        base = c * 150
+        for _ in range(900):
+            edges.append((base + rng.randrange(150), base + rng.randrange(150)))
+    for _ in range(60):
+        edges.append((rng.randrange(600), rng.randrange(600)))
+    return CSRGraph.from_edges(600, np.asarray(edges, dtype=np.int64))
+
+
+def test_bench_partition_with_refinement(benchmark, clustered_graph):
+    report = benchmark(
+        lambda: MultilevelPartitioner(k=4, seed=1, refinement=True).partition(
+            clustered_graph
+        )
+    )
+    benchmark.extra_info["edge_cut"] = report.edge_cut
+    benchmark.extra_info["balance"] = round(report.balance, 3)
+    assert report.balance < 1.2
+
+
+def test_bench_partition_without_refinement(benchmark, clustered_graph):
+    report = benchmark(
+        lambda: MultilevelPartitioner(k=4, seed=1, refinement=False).partition(
+            clustered_graph
+        )
+    )
+    benchmark.extra_info["edge_cut"] = report.edge_cut
+
+
+def test_ablation_refinement_improves_cut(clustered_graph):
+    with_ref = MultilevelPartitioner(k=4, seed=1, refinement=True).partition(
+        clustered_graph
+    )
+    without = MultilevelPartitioner(k=4, seed=1, refinement=False).partition(
+        clustered_graph
+    )
+    assert with_ref.edge_cut <= without.edge_cut

@@ -1,0 +1,35 @@
+"""Bench for Table I: the partitioning-metrics computation (bal/OR/IR/time)."""
+
+from repro.parallel import ParallelReasoner
+from repro.partitioning import (
+    compute_data_metrics,
+    output_replication,
+    partition_data,
+)
+from repro.partitioning.policies import GraphPartitioningPolicy
+
+K = 4
+
+
+def _table_row(dataset):
+    result = partition_data(dataset.data, GraphPartitioningPolicy(seed=0), K)
+    metrics = compute_data_metrics(result, dataset.data)
+    run = ParallelReasoner(
+        dataset.ontology, k=K, approach="data",
+        policy=GraphPartitioningPolicy(seed=0), strategy="forward",
+    ).materialize(dataset.data)
+    metrics.output_replication = output_replication(run.node_outputs)
+    return metrics
+
+
+def test_bench_table1(benchmark, lubm_tiny):
+    metrics = benchmark.pedantic(_table_row, args=(lubm_tiny,), rounds=1,
+                                 iterations=1)
+    benchmark.extra_info["bal"] = round(metrics.bal, 1)
+    benchmark.extra_info["IR"] = round(metrics.duplication, 3)
+    benchmark.extra_info["OR"] = round(metrics.output_replication - 1, 3)
+    # Paper shape for the graph policy: small replication on LUBM.
+    assert metrics.duplication < 0.6
+    assert metrics.output_replication - 1 < 0.6
+    # OR and IR track each other (both measure the same co-location waste).
+    assert abs((metrics.output_replication - 1) - metrics.duplication) < 0.5

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""End-to-end cluster story: materialize in parallel, keep the KB
+partitioned, and answer the LUBM benchmark queries by scatter-gather —
+no aggregation step, queries written in SPARQL.
+
+Run:  python examples/distributed_queries.py
+"""
+
+from repro.datasets import LUBM
+from repro.datasets.lubm_queries import LUBM_QUERIES
+from repro.owl import HorstReasoner
+from repro.parallel import CostModel, DistributedQueryEngine, ParallelReasoner
+from repro.util import ascii_table
+
+K = 4
+
+
+def main() -> None:
+    dataset = LUBM(4, seed=5, departments_per_university=2,
+                   faculty_per_department=2, students_per_faculty=3)
+    print(f"{dataset.name}: {len(dataset.data)} instance triples, "
+          f"materializing on {K} partitions...")
+
+    reasoner = ParallelReasoner(dataset.ontology, k=K, approach="data")
+    run = reasoner.materialize(dataset.data)
+    sizes = [len(g) for g in run.node_outputs]
+    print(f"done in {run.stats.num_rounds} rounds; partition sizes: {sizes}\n")
+
+    # Query the partitions directly — the closed KB never leaves the nodes.
+    engine = DistributedQueryEngine(run.node_outputs)
+    centralized = HorstReasoner(dataset.ontology).materialize(dataset.data).graph
+
+    rows = []
+    cost_model = CostModel.mpi()
+    for query in LUBM_QUERIES:
+        bgp = query.parse().bgp
+        distributed, stats = engine.execute(bgp)
+        central_count = bgp.count(centralized)
+        assert len(distributed) == central_count, query.name
+        rows.append([
+            query.name,
+            len(distributed),
+            stats.total_shipped,
+            round(stats.modeled_gather_time(cost_model) * 1000, 2),
+        ])
+    print(ascii_table(
+        ["query", "rows", "tuples_shipped", "gather_ms (mpi model)"],
+        rows,
+        title="LUBM queries, scatter-gather over the live partitions "
+              "(all counts verified against a centralized closure)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

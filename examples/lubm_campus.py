@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""LUBM walkthrough: generate a multi-university KB, compare the three
+data-partitioning policies (the paper's Fig 5 / Table I in miniature), and
+run the parallel reasoner on the best one.
+
+Run:  python examples/lubm_campus.py [universities]
+"""
+
+import sys
+
+from repro.datasets import LUBM
+from repro.datasets.lubm import UB
+from repro.owl.vocabulary import RDF
+from repro.parallel import CostModel, ParallelReasoner, SimulatedCluster
+from repro.partitioning import compute_data_metrics, partition_data
+from repro.partitioning.policies import (
+    DomainPartitioningPolicy,
+    GraphPartitioningPolicy,
+    HashPartitioningPolicy,
+)
+from repro.util import ascii_table
+
+
+def main() -> None:
+    universities = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    k = min(4, universities)
+    dataset = LUBM(universities, seed=42,
+                   departments_per_university=2,
+                   faculty_per_department=3,
+                   students_per_faculty=4)
+    print(f"{dataset.name}: {len(dataset.data)} instance triples, "
+          f"{len(dataset.data.resources())} resources\n")
+
+    # --- compare partitioning policies (Table I style) -----------------------
+    policies = {
+        "graph": GraphPartitioningPolicy(seed=42),
+        "domain": DomainPartitioningPolicy(dataset.domain_grouper),
+        "hash": HashPartitioningPolicy(),
+    }
+    rows = []
+    for name, policy in policies.items():
+        result = partition_data(dataset.data, policy, k)
+        metrics = compute_data_metrics(result, dataset.data)
+        rows.append([name, k, round(metrics.bal, 1),
+                     round(metrics.duplication, 3),
+                     round(metrics.partition_time, 3)])
+    print(ascii_table(["policy", "k", "bal", "IR-1", "time_s"], rows,
+                      title=f"partitioning metrics at k={k}"))
+
+    # --- run the parallel reasoner on the graph policy ----------------------
+    reasoner = ParallelReasoner(
+        dataset.ontology, k=k, approach="data",
+        policy=GraphPartitioningPolicy(seed=42),
+    )
+    sim = SimulatedCluster(reasoner, CostModel.file_ipc())
+    run = sim.run(dataset.data)
+    breakdown = run.breakdown()
+    print(f"\nparallel materialization, k={k} "
+          f"({run.result.stats.num_rounds} rounds):")
+    print(f"  closure size:  {len(run.result.graph)} triples")
+    print(f"  reasoning max: {breakdown.reasoning:.3f}s   io: {breakdown.io:.3f}s"
+          f"   sync: {breakdown.sync:.3f}s   aggregation: {breakdown.aggregation:.3f}s")
+
+    # --- and ask it something ------------------------------------------------
+    chairs = sorted(
+        t.s.local_name()
+        for t in run.result.graph.match(None, RDF.type, UB.Chair)
+    )
+    print(f"\ninferred department chairs (someValuesFrom restriction): "
+          f"{len(chairs)}")
+    for c in chairs[:5]:
+        print(f"  {c}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The materialized-KB workflow the paper's introduction motivates:
+bulk-load once (in parallel), then serve queries from the closed KB and
+absorb occasional additions incrementally.
+
+Run:  python examples/materialized_kb.py
+"""
+
+from repro.datalog.ast import Atom
+from repro.datasets import LUBM
+from repro.datasets.lubm import UB
+from repro.owl import MaterializedKB
+from repro.owl.vocabulary import RDF
+from repro.rdf import BGPQuery, Triple, URI
+from repro.rdf.terms import Variable
+
+X, Y = Variable("x"), Variable("y")
+
+
+def main() -> None:
+    dataset = LUBM(3, seed=11, departments_per_university=2,
+                   faculty_per_department=3, students_per_faculty=4)
+
+    # --- bulk load: the one heavy step, delegated to the parallel reasoner
+    kb = MaterializedKB(dataset.ontology)
+    kb.bulk_load(dataset.data, parallel_k=3)
+    print(f"loaded {kb.base_size} base triples -> {kb.size} after closure "
+          f"({kb.inferred_size} inferred)")
+
+    # --- queries hit the closed graph: no reasoning on the read path -----
+    professors = BGPQuery([
+        Atom(X, RDF.type, UB.Professor),       # subclass closure
+        Atom(X, UB.memberOf, Y),               # subproperty closure
+    ])
+    rows, stats = professors.execute_with_stats(kb.graph)
+    print(f"\nprofessors with their organizations: {len(rows)} rows "
+          f"({stats.index_probes} index probes, zero rule firings)")
+
+    chairs = sorted(
+        t.s.local_name() for t in kb.match(p=RDF.type, o=UB.Chair)
+    )
+    print(f"inferred chairs: {len(chairs)}")
+
+    # --- incremental load: a new hire, closed in milliseconds -------------
+    new_prof = URI("http://www.University0.edu/Department0/FacultyNew")
+    dept = URI("http://www.University0.edu/Department0")
+    added = kb.add([
+        Triple(new_prof, RDF.type, UB.AssistantProfessor),
+        Triple(new_prof, UB.worksFor, dept),
+    ])
+    from repro.owl import HorstReasoner
+
+    from_scratch = HorstReasoner(dataset.ontology).materialize(kb.base_graph)
+    print(f"\nincremental add: {added} base triples, "
+          f"{kb.last_load_stats.derived} consequences, "
+          f"{kb.last_load_stats.work} work units — a from-scratch re-closure "
+          f"would cost {from_scratch.work}")
+    assert kb.ask([Atom(new_prof, RDF.type, UB.Person)])
+    assert kb.ask([Atom(new_prof, UB.memberOf, dept)])
+    print("the new professor is a Person and a member of the department ✓")
+
+
+if __name__ == "__main__":
+    main()

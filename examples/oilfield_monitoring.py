@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Oilfield (MDC-like) scenario: materialize deep transitive equipment
+hierarchies and answer asset-containment questions — the workload class the
+paper's proprietary MDC dataset represents.
+
+Run:  python examples/oilfield_monitoring.py
+"""
+
+from repro.datasets import MDC
+from repro.datasets.mdc import MDCNS
+from repro.owl import HorstReasoner
+from repro.owl.vocabulary import RDF
+from repro.parallel import ParallelReasoner
+from repro.partitioning.policies import DomainPartitioningPolicy
+from repro.rdf import Graph
+
+
+def main() -> None:
+    dataset = MDC(fields=3, wells_per_field=3, hierarchy_depth=6, seed=7)
+    print(f"{dataset.name}: {len(dataset.data)} instance triples\n")
+
+    # --- serial: what is (transitively) part of Well0 of Field0? -------------
+    reasoner = HorstReasoner(dataset.ontology)
+    closed = reasoner.materialize(dataset.data).graph
+
+    well = MDC.__module__  # noqa: F841 (illustrative; real URI below)
+    from repro.datasets.mdc import MDCGenerator
+    well0 = MDCGenerator.entity_uri(0, "Well0")
+    parts = sorted(
+        t.s.local_name() for t in closed.match(None, MDCNS.partOf, well0)
+    )
+    print(f"components transitively part of Field0/Well0: {len(parts)}")
+    for p in parts[:6]:
+        print(f"  {p}")
+
+    # hasPart is inferred as the inverse of partOf:
+    has_parts = list(closed.match(well0, MDCNS.hasPart, None))
+    print(f"Well0 hasPart (inverse inference): {len(has_parts)} triples")
+
+    # every sensor is Equipment via the class hierarchy:
+    sensors = sum(1 for _ in closed.match(None, RDF.type, MDCNS.Sensor))
+    equipment = sum(1 for _ in closed.match(None, RDF.type, MDCNS.Equipment))
+    print(f"sensors: {sensors}; equipment (superclass closure): {equipment}")
+
+    # --- parallel: field-aware domain partitioning ---------------------------
+    parallel = ParallelReasoner(
+        dataset.ontology, k=3, approach="data",
+        policy=DomainPartitioningPolicy(dataset.domain_grouper),
+    )
+    result = parallel.materialize(dataset.data)
+    instance_closure = Graph(
+        t for t in result.graph if t not in parallel.compiled.schema
+    )
+    assert instance_closure == closed
+    print(f"\nparallel (k=3, domain policy): {result.stats.num_rounds} rounds, "
+          f"{result.stats.total_tuples_communicated()} tuples communicated — "
+          "matches serial ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: the environment has setuptools but no `wheel` package, so
+PEP 517 editable installs fail; this enables the legacy `setup.py develop`
+path (`pip install -e . --no-build-isolation`). Metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — parallel inferencing for OWL knowledge bases.
+
+A from-scratch reproduction of Soma & Prasanna (ICPP 2008).  The public
+API re-exports the main entry points; see the subpackages for the full
+surface:
+
+* :mod:`repro.rdf` — RDF store substrate
+* :mod:`repro.datalog` — rule engines
+* :mod:`repro.owl` — OWL-Horst compiler and serial reasoner
+* :mod:`repro.graphpart` — multilevel k-way graph partitioner
+* :mod:`repro.partitioning` — the paper's Algorithms 1 and 2 + metrics
+* :mod:`repro.parallel` — the paper's Algorithm 3 runtime + simulation
+* :mod:`repro.datasets` — LUBM/UOBM/MDC generators
+* :mod:`repro.perfmodel` — the Figs 3/4 performance model
+* :mod:`repro.experiments` — per-table/figure reproduction harness
+"""
+
+from repro.rdf import Graph, Namespace, Triple, URI, Literal, BNode
+from repro.owl import HorstReasoner
+from repro.parallel import (
+    CostModel,
+    HybridParallelReasoner,
+    ParallelReasoner,
+    SimulatedCluster,
+)
+from repro.datasets import LUBM, MDC, UOBM
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "Namespace",
+    "Triple",
+    "URI",
+    "Literal",
+    "BNode",
+    "HorstReasoner",
+    "ParallelReasoner",
+    "HybridParallelReasoner",
+    "SimulatedCluster",
+    "CostModel",
+    "LUBM",
+    "UOBM",
+    "MDC",
+    "__version__",
+]

@@ -1,0 +1,192 @@
+"""Rule analysis: join classification and the rule-dependency graph.
+
+Section II of the paper observes that after schema compilation, all but one
+of the OWL-Horst rules are **single-join rules** — two body sub-goals
+sharing a variable.  The data-partitioning approach is only sound for rule
+sets in that class (plus trivially-parallel zero-join rules), so
+:func:`check_data_partitionable` is the safety gate the partitioner calls.
+
+Algorithm 2 (rule partitioning) builds a *rule dependency graph*: one vertex
+per rule, an edge when the head of one rule can unify with a body sub-goal
+of another (a tuple produced by the first may trigger the second), with
+optional edge weights from predicate statistics.  That graph is produced
+here and partitioned by :mod:`repro.graphpart`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from repro.datalog.ast import Atom, Rule
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Variable
+
+
+class JoinClass(enum.Enum):
+    """Body shape of a rule, per the paper's taxonomy (plus the star-join
+    extension; see :data:`STAR_JOIN`)."""
+
+    #: One body atom: no join at all; fires locally on any matching tuple.
+    ZERO_JOIN = "zero-join"
+    #: Two body atoms sharing at least one variable (the paper's class).
+    SINGLE_JOIN = "single-join"
+    #: Three or more body atoms that all share one common variable in a
+    #: subject/object position — e.g. the compiled owl:intersectionOf rule
+    #: ``(?x type D1) (?x type D2) -> (?x type C)``.  Sound for the
+    #: paper's data partitioning by the same argument as single-join:
+    #: every participating tuple is collected at the shared resource's
+    #: owner.  (A strict extension of the paper's class.)
+    STAR_JOIN = "star-join"
+    #: Two body atoms sharing no variable (a cross product — not safe for
+    #: owner-based data partitioning, and never produced by the compiler).
+    CARTESIAN = "cartesian"
+    #: Three or more body atoms with no single shared variable (e.g. raw
+    #: rdfp11 sameAs-propagation before schema compilation).
+    MULTI_JOIN = "multi-join"
+
+
+def _common_so_variable(rule: Rule) -> Variable | None:
+    """A variable occurring in a subject/object position of *every* body
+    atom, or None."""
+    common: set[Variable] | None = None
+    for atom in rule.body:
+        positional = {
+            t for t in (atom.s, atom.o) if isinstance(t, Variable)
+        }
+        common = positional if common is None else (common & positional)
+        if not common:
+            return None
+    return next(iter(common)) if common else None
+
+
+def classify_rule(rule: Rule) -> JoinClass:
+    """Classify a rule's body shape.
+
+    >>> from repro.datalog.parser import parse_rules
+    >>> r = parse_rules('''@prefix ex: <ex:>
+    ... [t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]''')[0]
+    >>> classify_rule(r)
+    <JoinClass.SINGLE_JOIN: 'single-join'>
+    """
+    if rule.arity == 1:
+        return JoinClass.ZERO_JOIN
+    if rule.arity == 2:
+        shared = rule.body[0].variables() & rule.body[1].variables()
+        return JoinClass.SINGLE_JOIN if shared else JoinClass.CARTESIAN
+    if _common_so_variable(rule) is not None:
+        return JoinClass.STAR_JOIN
+    return JoinClass.MULTI_JOIN
+
+
+def is_single_join(rule: Rule) -> bool:
+    return classify_rule(rule) is JoinClass.SINGLE_JOIN
+
+
+def join_variables(rule: Rule) -> set[Variable]:
+    """The variables shared by the two body atoms of a single-join rule."""
+    if classify_rule(rule) is not JoinClass.SINGLE_JOIN:
+        raise ValueError(f"rule {rule.name!r} is not single-join")
+    return rule.body[0].variables() & rule.body[1].variables()
+
+
+def check_data_partitionable(rules: Iterable[Rule]) -> None:
+    """Raise ``ValueError`` unless every rule is zero-join, single-join
+    (with the shared variable confined to subject/object positions), or
+    star-join.
+
+    The ownership argument (Section III-A) requires the joining resource to
+    be the subject or object of both tuples — that is what "all tuples with
+    the resource as subject or object live on the owner" guarantees.  The
+    same argument covers star joins (all body atoms share one s/o
+    variable): every participating tuple is collected at that resource's
+    owner.  A rule joining on the *predicate* position would need a
+    different placement rule, and the OWL-Horst compiler never emits one;
+    this check makes the assumption explicit instead of silently producing
+    wrong fixpoints.
+    """
+    bad: list[str] = []
+    for rule in rules:
+        cls = classify_rule(rule)
+        if cls in (JoinClass.ZERO_JOIN, JoinClass.STAR_JOIN):
+            continue
+        if cls is not JoinClass.SINGLE_JOIN:
+            bad.append(f"{rule.name} ({cls.value})")
+            continue
+        shared = join_variables(rule)
+        for atom in rule.body:
+            if isinstance(atom.p, Variable) and atom.p in shared:
+                bad.append(f"{rule.name} (joins on predicate position)")
+                break
+    if bad:
+        raise ValueError(
+            "data partitioning is only sound for zero-join/single-join/"
+            "star-join rule sets; offending rules: " + ", ".join(bad)
+        )
+
+
+def predicate_counts(graph: Graph) -> Counter:
+    """Triple count per predicate — the "a priori knowledge about the
+    distribution of different predicates" the paper suggests for weighting
+    rule-dependency edges."""
+    counts: Counter = Counter()
+    for p in graph.predicates():
+        counts[p] = graph.count(p=p)
+    return counts
+
+
+def rule_dependency_graph(
+    rules: Sequence[Rule],
+    predicate_stats: Mapping[Term, int] | None = None,
+) -> tuple[list[Rule], dict[tuple[int, int], int]]:
+    """Algorithm 2, steps 1–3: build the rule dependency graph.
+
+    Returns ``(vertices, edges)`` where ``vertices`` is the rule list (vertex
+    i = rules[i]) and ``edges`` maps undirected index pairs ``(i, j)`` with
+    ``i < j`` to a positive integer weight.  An edge exists when the head of
+    one rule unifies with some body atom of the other (in either direction —
+    the paper's graph is undirected for partitioning purposes).
+
+    With ``predicate_stats`` (triple counts per predicate), an edge's weight
+    is scaled by the producer's head-predicate frequency, implementing the
+    paper's "weigh the edges ... based on the number of triples they may
+    contribute"; otherwise all edges weigh 1.
+    """
+    vertices = list(rules)
+    edges: dict[tuple[int, int], int] = {}
+    for i, producer in enumerate(vertices):
+        for j, consumer in enumerate(vertices):
+            if i == j:
+                continue
+            if not _feeds(producer, consumer):
+                continue
+            key = (i, j) if i < j else (j, i)
+            weight = 1
+            if predicate_stats is not None:
+                weight = max(1, _head_weight(producer, predicate_stats))
+            edges[key] = max(edges.get(key, 0), weight)
+    return vertices, edges
+
+
+def _feeds(producer: Rule, consumer: Rule) -> bool:
+    """True when a tuple derived by ``producer`` can match a body sub-goal
+    of ``consumer`` (pattern unification, variables standardized apart by
+    construction of distinct Variable objects being irrelevant here because
+    ``unify_atom`` only compares ground positions)."""
+    head = producer.head
+    return any(head.unify_atom(body_atom) for body_atom in consumer.body)
+
+
+def _head_weight(rule: Rule, stats: Mapping[Term, int]) -> int:
+    p = rule.head.p
+    if isinstance(p, Variable):
+        # Variable-predicate heads (sameAs propagation) can produce any
+        # predicate; weight by the total.
+        return sum(stats.values())
+    return int(stats.get(p, 0))
+
+
+def self_recursive(rule: Rule) -> bool:
+    """Whether a rule can consume its own output (e.g. transitivity)."""
+    return _feeds(rule, rule)

@@ -1,0 +1,254 @@
+"""Rule abstract syntax: atoms, rules, bindings, unification.
+
+Terminology follows the paper (Section II): a rule is written
+``head <- body``; the head has one clause; the body is a horn clause with
+many sub-goals.  A *single-join rule* has exactly two body sub-goals that
+share a variable — the class the data-partitioning correctness argument
+rests on (see :mod:`repro.datalog.analysis`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Sequence
+
+from repro.rdf.terms import Term, URI, Variable
+from repro.rdf.triple import Triple
+
+#: A substitution: variable -> ground term.
+Bindings = Dict[Variable, Term]
+
+
+class Atom:
+    """A triple pattern; each position is a ground term or a variable.
+
+    >>> from repro.rdf.terms import URI, Variable
+    >>> a = Atom(Variable("x"), URI("ex:p"), Variable("y"))
+    >>> sorted(v.name for v in a.variables())
+    ['x', 'y']
+    """
+
+    __slots__ = ("s", "p", "o", "_hash")
+
+    def __init__(self, s: Term, p: Term, o: Term) -> None:
+        for pos, term in (("subject", s), ("predicate", p), ("object", o)):
+            if not isinstance(term, Term):
+                raise TypeError(f"atom {pos} must be a Term, got {term!r}")
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "o", o)
+        object.__setattr__(self, "_hash", hash((s, p, o)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.s == other.s and self.p == other.p and self.o == other.o
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.s
+        yield self.p
+        yield self.o
+
+    def __repr__(self) -> str:
+        return f"Atom({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def __str__(self) -> str:
+        return f"({self.s.n3()} {self.p.n3()} {self.o.n3()})"
+
+    # -- variable handling --------------------------------------------------
+
+    def variables(self) -> set[Variable]:
+        return {t for t in self if isinstance(t, Variable)}
+
+    def is_ground(self) -> bool:
+        return not any(isinstance(t, Variable) for t in self)
+
+    def substitute(self, bindings: Bindings) -> "Atom":
+        """Apply a substitution; unbound variables stay variables.
+
+        Variable-to-variable chains (``x -> y, y -> ground``), which the
+        backward engine's unifier can create, are followed to their end.
+        Chains are acyclic by construction (a variable is never rebound),
+        so the walk terminates.
+        """
+        def sub(t: Term) -> Term:
+            while isinstance(t, Variable) and t in bindings:
+                t = bindings[t]
+            return t
+
+        return Atom(sub(self.s), sub(self.p), sub(self.o))
+
+    def to_triple(self, bindings: Bindings | None = None) -> Triple:
+        """Ground this atom into a triple.  Raises if any position remains
+        unbound — rules whose head variables don't all occur in the body are
+        rejected at construction, so this only fires on internal errors."""
+        a = self.substitute(bindings) if bindings else self
+        if not a.is_ground():
+            raise ValueError(f"atom not ground after substitution: {a}")
+        return Triple(a.s, a.p, a.o)
+
+    @classmethod
+    def from_triple(cls, triple: Triple) -> "Atom":
+        return cls(triple.s, triple.p, triple.o)
+
+    # -- matching -----------------------------------------------------------
+
+    def match_triple(
+        self, triple: Triple, bindings: Bindings | None = None
+    ) -> Bindings | None:
+        """Match a ground triple against this pattern under existing
+        bindings.  Returns the *extended* bindings dict (a new dict), or
+        ``None`` on mismatch.  Repeated variables must bind consistently:
+
+        >>> from repro.rdf.terms import URI, Variable
+        >>> from repro.rdf.triple import Triple
+        >>> a = Atom(Variable("x"), URI("ex:p"), Variable("x"))
+        >>> a.match_triple(Triple(URI("ex:a"), URI("ex:p"), URI("ex:b"))) is None
+        True
+        """
+        out: Bindings | None = None
+        for pat, val in ((self.s, triple.s), (self.p, triple.p), (self.o, triple.o)):
+            if isinstance(pat, Variable):
+                if out is not None and pat in out:
+                    bound = out[pat]
+                elif bindings is not None and pat in bindings:
+                    bound = bindings[pat]
+                else:
+                    bound = None
+                if bound is None:
+                    if out is None:
+                        out = dict(bindings) if bindings else {}
+                    out[pat] = val
+                elif bound != val:
+                    return None
+            elif pat != val:
+                return None
+        if out is None:
+            out = dict(bindings) if bindings else {}
+        return out
+
+    def unify_atom(self, other: "Atom") -> bool:
+        """Whether this pattern can unify with another pattern (variables
+        are local to each side).  Used to build rule-dependency edges:
+        positions conflict only when both are ground and differ."""
+        for a, b in zip(self, other):
+            if isinstance(a, Variable) or isinstance(b, Variable):
+                continue
+            if a != b:
+                return False
+        return True
+
+
+class Rule:
+    """A datalog rule ``head <- body``.
+
+    * exactly one head atom (the paper's rule shape);
+    * every head variable must occur in the body (range restriction / safety
+      — guarantees derived triples are ground);
+    * the body is an ordered tuple of atoms; evaluation order follows body
+      order, with the engines reordering internally for joins.
+
+    >>> from repro.rdf.terms import URI, Variable
+    >>> x, y, z = Variable("x"), Variable("y"), Variable("z")
+    >>> p = URI("ex:brotherOf")
+    >>> r = Rule("trans", [Atom(x, p, y), Atom(y, p, z)], Atom(x, p, z))
+    >>> r.arity
+    2
+    """
+
+    __slots__ = ("name", "body", "head", "_hash")
+
+    def __init__(self, name: str, body: Sequence[Atom], head: Atom) -> None:
+        if not isinstance(head, Atom):
+            raise TypeError(f"rule head must be an Atom, got {head!r}")
+        body = tuple(body)
+        if not body:
+            raise ValueError(f"rule {name!r}: body must have at least one atom")
+        for atom in body:
+            if not isinstance(atom, Atom):
+                raise TypeError(f"rule {name!r}: body item {atom!r} is not an Atom")
+        body_vars: set[Variable] = set()
+        for atom in body:
+            body_vars |= atom.variables()
+        unsafe = head.variables() - body_vars
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise ValueError(
+                f"rule {name!r} is unsafe: head variable(s) {names} not in body"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "_hash", hash((name, body, head)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Rule is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name!r}, {list(self.body)!r}, {self.head!r})"
+
+    def __str__(self) -> str:
+        body = " ".join(str(a) for a in self.body)
+        return f"[{self.name}: {body} -> {self.head}]"
+
+    @property
+    def arity(self) -> int:
+        """Number of body sub-goals."""
+        return len(self.body)
+
+    def variables(self) -> set[Variable]:
+        out = self.head.variables()
+        for atom in self.body:
+            out |= atom.variables()
+        return out
+
+    def rename_variables(self, suffix: str) -> "Rule":
+        """A copy with every variable renamed ``name -> name_suffix`` —
+        used by the backward engine to standardize clauses apart."""
+        mapping = {v: Variable(f"{v.name}_{suffix}") for v in self.variables()}
+        return Rule(
+            self.name,
+            [a.substitute(mapping) for a in self.body],  # type: ignore[arg-type]
+            self.head.substitute(mapping),
+        )
+
+    def predicates(self) -> set[Term]:
+        """Ground predicates mentioned anywhere in the rule (for statistics
+        and dependency-edge weighting)."""
+        out: set[Term] = set()
+        for atom in (*self.body, self.head):
+            if not isinstance(atom.p, Variable):
+                out.add(atom.p)
+        return out
+
+
+def rules_by_name(rules: Iterable[Rule]) -> dict[str, Rule]:
+    """Index rules by name, rejecting duplicates (partitioning and routing
+    identify rules by name across process boundaries)."""
+    out: dict[str, Rule] = {}
+    for r in rules:
+        if r.name in out:
+            raise ValueError(f"duplicate rule name {r.name!r}")
+        out[r.name] = r
+    return out

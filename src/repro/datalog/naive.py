@@ -1,0 +1,68 @@
+"""Naive bottom-up datalog evaluation.
+
+The textbook fixpoint: apply every rule to the *entire* database each
+iteration until nothing new is derived.  Kept for two reasons:
+
+* as the correctness oracle for :class:`~repro.datalog.engine.SemiNaiveEngine`
+  in the test suite (they must always agree);
+* as the ablation baseline for the "semi-naive vs naive" bench called out in
+  DESIGN.md Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datalog.ast import Bindings, Rule
+from repro.datalog.engine import EngineStats, FixpointResult, match_atom
+from repro.rdf.graph import Graph
+
+
+class NaiveEngine:
+    """Naive fixpoint evaluator (oracle/baseline; see module docstring)."""
+
+    def __init__(self, rules: Sequence[Rule], max_iterations: int | None = None) -> None:
+        self.rules = tuple(rules)
+        self.max_iterations = max_iterations
+
+    def run(self, graph: Graph) -> FixpointResult:
+        """Run to fixpoint, mutating ``graph`` in place."""
+        stats = EngineStats()
+        inferred = Graph()
+        changed = True
+        while changed:
+            if (
+                self.max_iterations is not None
+                and stats.iterations >= self.max_iterations
+            ):
+                raise RuntimeError(
+                    f"fixpoint not reached after {self.max_iterations} iterations"
+                )
+            stats.iterations += 1
+            changed = False
+            new = Graph()
+            for rule in self.rules:
+                bindings_list: list[Bindings] = [{}]
+                for atom in rule.body:
+                    next_list: list[Bindings] = []
+                    for b in bindings_list:
+                        next_list.extend(match_atom(graph, atom, b, stats))
+                    bindings_list = next_list
+                    if not bindings_list:
+                        break
+                for b in bindings_list:
+                    try:
+                        triple = rule.head.to_triple(b)
+                    except TypeError:
+                        # Generalized triple (literal in subject position);
+                        # dropped, mirroring SemiNaiveEngine.
+                        continue
+                    stats.firings += 1
+                    if triple not in graph and triple not in new:
+                        new.add(triple)
+            for triple in new:
+                graph.add(triple)
+                inferred.add(triple)
+                stats.derived += 1
+                changed = True
+        return FixpointResult(graph=graph, inferred=inferred, stats=stats)

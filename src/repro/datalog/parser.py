@@ -1,0 +1,249 @@
+"""Parser for a Jena-flavoured rule text syntax.
+
+The OWL-Horst rule set ships as Python objects, but users bringing their own
+ontologies (and our tests) want readable rule files.  Grammar::
+
+    document   := (prefix | rule)*
+    prefix     := '@prefix' NAME ':' '<' IRI '>' '.'?
+    rule       := '[' NAME ':' atom+ '->' atom+ ']'
+    atom       := '(' term term term ')'
+    term       := '?' NAME            -- variable
+                | '<' IRI '>'         -- absolute IRI
+                | NAME ':' NAME       -- prefixed name
+                | '"' chars '"' tag?  -- literal (w/ optional ^^dt or @lang)
+                | '_:' NAME           -- blank node
+
+    '#' starts a comment through end of line.
+
+Multiple head atoms expand into one :class:`Rule` per head atom (named
+``name``, ``name.2``, ``name.3``, ...), keeping the single-head rule shape
+the paper assumes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.datalog.ast import Atom, Rule
+from repro.rdf.terms import BNode, Literal, Term, URI, Variable
+
+
+class RuleParseError(ValueError):
+    """Malformed rule text; message includes the offending position."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<punct>[\[\]():.])
+  | (?P<at>@prefix\b)
+  | (?P<iri><[^<>\s]*>)
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<bnode>_:[A-Za-z0-9_.-]+)
+  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.-]*)
+  | (?P<caret>\^\^)
+  | (?P<lang>@[A-Za-z][A-Za-z0-9-]*)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPE_RE = re.compile(r"\\(.)")
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}@{self.pos})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            snippet = text[pos : pos + 20]
+            raise RuleParseError(f"unexpected character at offset {pos}: {snippet!r}")
+        kind = m.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.prefixes: dict[str, str] = {}
+
+    # -- cursor ------------------------------------------------------------
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise RuleParseError("unexpected end of input")
+        self.index += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise RuleParseError(
+                f"expected {want!r} at offset {tok.pos}, found {tok.text!r}"
+            )
+        return tok
+
+    # -- productions ---------------------------------------------------------
+
+    def parse_document(self) -> list[Rule]:
+        rules: list[Rule] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                return rules
+            if tok.kind == "at":
+                self._parse_prefix()
+            elif tok.kind == "punct" and tok.text == "[":
+                rules.extend(self._parse_rule())
+            else:
+                raise RuleParseError(
+                    f"expected '@prefix' or '[' at offset {tok.pos}, found {tok.text!r}"
+                )
+
+    def _parse_prefix(self) -> None:
+        self.expect("at")
+        name = self.expect("name").text
+        self.expect("punct", ":")
+        iri = self.expect("iri").text
+        tok = self.peek()
+        if tok is not None and tok.kind == "punct" and tok.text == ".":
+            self.next()
+        self.prefixes[name] = iri[1:-1]
+
+    def _parse_rule(self) -> list[Rule]:
+        self.expect("punct", "[")
+        name = self.expect("name").text
+        self.expect("punct", ":")
+        body: list[Atom] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise RuleParseError(f"rule {name!r}: unexpected end of input")
+            if tok.kind == "arrow":
+                self.next()
+                break
+            body.append(self._parse_atom(name))
+        heads: list[Atom] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise RuleParseError(f"rule {name!r}: missing closing ']'")
+            if tok.kind == "punct" and tok.text == "]":
+                self.next()
+                break
+            heads.append(self._parse_atom(name))
+        if not heads:
+            raise RuleParseError(f"rule {name!r}: no head atoms")
+        out: list[Rule] = []
+        for i, head in enumerate(heads):
+            rule_name = name if i == 0 else f"{name}.{i + 1}"
+            out.append(Rule(rule_name, body, head))
+        return out
+
+    def _parse_atom(self, rule_name: str) -> Atom:
+        self.expect("punct", "(")
+        s = self._parse_term(rule_name)
+        p = self._parse_term(rule_name)
+        o = self._parse_term(rule_name)
+        self.expect("punct", ")")
+        return Atom(s, p, o)
+
+    def _parse_term(self, rule_name: str) -> Term:
+        tok = self.next()
+        if tok.kind == "var":
+            return Variable(tok.text[1:])
+        if tok.kind == "iri":
+            return URI(tok.text[1:-1])
+        if tok.kind == "bnode":
+            return BNode(tok.text[2:])
+        if tok.kind == "literal":
+            lexical = _ESCAPE_RE.sub(
+                lambda m: _ESCAPES.get(m.group(1), m.group(1)), tok.text[1:-1]
+            )
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "caret":
+                self.next()
+                dt_tok = self.next()
+                if dt_tok.kind == "iri":
+                    return Literal(lexical, datatype=URI(dt_tok.text[1:-1]))
+                if dt_tok.kind == "name":
+                    return Literal(lexical, datatype=self._prefixed(dt_tok, rule_name))
+                raise RuleParseError(
+                    f"rule {rule_name!r}: bad datatype token {dt_tok.text!r}"
+                )
+            if nxt is not None and nxt.kind == "lang":
+                self.next()
+                return Literal(lexical, language=nxt.text[1:])
+            return Literal(lexical)
+        if tok.kind == "name":
+            return self._prefixed(tok, rule_name)
+        raise RuleParseError(
+            f"rule {rule_name!r}: unexpected token {tok.text!r} at offset {tok.pos}"
+        )
+
+    def _prefixed(self, tok: _Token, rule_name: str) -> URI:
+        nxt = self.peek()
+        if nxt is None or nxt.kind != "punct" or nxt.text != ":":
+            raise RuleParseError(
+                f"rule {rule_name!r}: bare name {tok.text!r} at offset {tok.pos} "
+                "(did you mean a prefixed name like ex:thing?)"
+            )
+        self.next()
+        local = self.expect("name").text
+        prefix = self.prefixes.get(tok.text)
+        if prefix is None:
+            raise RuleParseError(
+                f"rule {rule_name!r}: unknown prefix {tok.text!r} "
+                f"(declare it with @prefix {tok.text}: <...>)"
+            )
+        return URI(prefix + local)
+
+
+def parse_rules(text: str, prefixes: dict[str, str] | None = None) -> list[Rule]:
+    """Parse a rule document into :class:`Rule` objects.
+
+    >>> rules = parse_rules('''
+    ... @prefix ex: <http://example.org/>
+    ... [trans: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]
+    ... ''')
+    >>> rules[0].name
+    'trans'
+    """
+    parser = _Parser(text)
+    if prefixes:
+        parser.prefixes.update(prefixes)
+    return parser.parse_document()
+
+
+def parse_rule(text: str, prefixes: dict[str, str] | None = None) -> Rule:
+    """Parse exactly one rule."""
+    rules = parse_rules(text, prefixes)
+    if len(rules) != 1:
+        raise RuleParseError(f"expected exactly one rule, found {len(rules)}")
+    return rules[0]

@@ -1,0 +1,39 @@
+"""Synthetic benchmark datasets.
+
+Three generators mirror the paper's three evaluation datasets (DESIGN.md §2
+documents each substitution):
+
+* :class:`LUBMGenerator` — Lehigh University Benchmark-compatible:
+  universities > departments > faculty/students/courses/publications, with
+  the univ-bench ontology's OWL-Horst-relevant axioms (class/property
+  hierarchies, transitive subOrganizationOf, inverse degreeFrom,
+  domain/range, a someValuesFrom restriction).  Entities cluster by
+  university; the only cross-university edges are degree-from links —
+  exactly the structure the domain-specific partitioner exploits.
+* :class:`UOBMGenerator` — University Ontology Benchmark-like: LUBM core
+  plus the dense cross-university friendship/acquaintance network UOBM
+  adds.  Its graph is far less separable, reproducing the paper's
+  sub-linear-speedup case.
+* :class:`MDCGenerator` — a synthetic stand-in for the paper's proprietary
+  oilfield dataset: deep transitive part-of/connected-to equipment
+  hierarchies, strongly clustered per field.
+
+All generators are deterministic under their seed and expose
+``ontology()``, ``generate()``, and ``domain_grouper()`` (the key function
+the domain-specific partitioning policy needs).
+"""
+
+from repro.datasets.base import SyntheticDataset
+from repro.datasets.lubm import LUBM, LUBMGenerator
+from repro.datasets.uobm import UOBM, UOBMGenerator
+from repro.datasets.mdc import MDC, MDCGenerator
+
+__all__ = [
+    "SyntheticDataset",
+    "LUBM",
+    "LUBMGenerator",
+    "UOBM",
+    "UOBMGenerator",
+    "MDC",
+    "MDCGenerator",
+]

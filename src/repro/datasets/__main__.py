@@ -1,0 +1,7 @@
+"""``python -m repro.datasets`` delegates to the generator CLI."""
+
+import sys
+
+from repro.datasets.cli import main
+
+sys.exit(main())

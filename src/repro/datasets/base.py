@@ -1,0 +1,27 @@
+"""Shared dataset machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated benchmark instance: TBox, ABox, and the domain key
+    function its domain-specific partitioning policy uses."""
+
+    name: str
+    ontology: Graph
+    data: Graph
+    domain_grouper: Callable[[Term], str | None]
+    seed: int
+
+    def __repr__(self) -> str:
+        return (
+            f"<SyntheticDataset {self.name}: {len(self.ontology)} schema + "
+            f"{len(self.data)} instance triples>"
+        )

@@ -1,0 +1,272 @@
+"""LUBM-compatible synthetic generator.
+
+The Lehigh University Benchmark (Guo, Pan & Heflin 2005) models a
+university domain: LUBM(N) generates N universities, each with a set of
+departments populated by faculty, students, courses, and publications.
+This module reimplements the generator's structure and the univ-bench
+ontology's OWL-Horst-expressible axioms:
+
+* class hierarchy: Chair/Dean < Professor < Faculty < Employee < Person;
+  Full/Associate/AssistantProfessor < Professor; Graduate/Undergraduate
+  Student < Student < Person; GraduateCourse < Course; ...
+* property hierarchy: headOf < worksFor < memberOf;
+  undergraduate/masters/doctoralDegreeFrom < degreeFrom;
+* ``subOrganizationOf`` is **transitive** (department -> college ->
+  university chains);
+* ``degreeFrom`` has inverse ``hasAlumnus``; ``memberOf`` has inverse
+  ``member``;
+* domain/range axioms on the main properties;
+* the Chair someValuesFrom restriction (a person heading a department is a
+  Chair) — the classic LUBM inference the plain RDFS subset misses.
+
+Cluster structure (what the partitioning study depends on): all triples of
+a university's entities stay inside that university, except
+``*DegreeFrom`` links, which point to a random *other* university —
+LUBM's only cross-university edges, and the paper's motivation for the
+domain-specific policy ("entities that belong to a certain university are
+more likely to be related to each other").
+
+Scale: real LUBM-1 is ~100k triples.  Pure-Python reasoning at that size is
+out of budget, so the default ``scale`` produces roughly 1.2k triples per
+university and experiments quote "LUBM-10 (scaled)"; structure, ratios,
+and ontology are unchanged (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import SyntheticDataset
+from repro.owl.vocabulary import OWL, RDF, RDFS
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Term, URI
+from repro.util.seeding import rng_for
+
+#: The univ-bench vocabulary namespace (ours; structurally matching
+#: http://swat.cse.lehigh.edu/onto/univ-bench.owl).
+UB = Namespace("http://repro.example.org/univ-bench#")
+
+
+def lubm_ontology() -> Graph:
+    """The univ-bench TBox (OWL-Horst-expressible fragment)."""
+    g = Graph()
+
+    def sub_class(child: URI, parent: URI) -> None:
+        g.add_spo(child, RDFS.subClassOf, parent)
+
+    def sub_prop(child: URI, parent: URI) -> None:
+        g.add_spo(child, RDFS.subPropertyOf, parent)
+
+    # -- class hierarchy --
+    sub_class(UB.Employee, UB.Person)
+    sub_class(UB.Faculty, UB.Employee)
+    sub_class(UB.Professor, UB.Faculty)
+    sub_class(UB.FullProfessor, UB.Professor)
+    sub_class(UB.AssociateProfessor, UB.Professor)
+    sub_class(UB.AssistantProfessor, UB.Professor)
+    sub_class(UB.Lecturer, UB.Faculty)
+    sub_class(UB.Student, UB.Person)
+    sub_class(UB.UndergraduateStudent, UB.Student)
+    sub_class(UB.GraduateStudent, UB.Student)
+    sub_class(UB.TeachingAssistant, UB.Person)
+    sub_class(UB.ResearchAssistant, UB.Person)
+    sub_class(UB.GraduateCourse, UB.Course)
+    sub_class(UB.Department, UB.Organization)
+    sub_class(UB.University, UB.Organization)
+    sub_class(UB.ResearchGroup, UB.Organization)
+    sub_class(UB.Article, UB.Publication)
+    sub_class(UB.Chair, UB.Professor)
+
+    # -- property hierarchy --
+    sub_prop(UB.headOf, UB.worksFor)
+    sub_prop(UB.worksFor, UB.memberOf)
+    sub_prop(UB.undergraduateDegreeFrom, UB.degreeFrom)
+    sub_prop(UB.mastersDegreeFrom, UB.degreeFrom)
+    sub_prop(UB.doctoralDegreeFrom, UB.degreeFrom)
+
+    # -- property characteristics --
+    g.add_spo(UB.subOrganizationOf, RDF.type, OWL.TransitiveProperty)
+    g.add_spo(UB.degreeFrom, OWL.inverseOf, UB.hasAlumnus)
+    g.add_spo(UB.memberOf, OWL.inverseOf, UB.member)
+
+    # -- domain / range --
+    for prop, domain, range_ in (
+        (UB.advisor, UB.Person, UB.Professor),
+        (UB.takesCourse, UB.Student, UB.Course),
+        (UB.teacherOf, UB.Faculty, UB.Course),
+        (UB.publicationAuthor, UB.Publication, UB.Person),
+        (UB.memberOf, UB.Person, UB.Organization),
+        (UB.subOrganizationOf, UB.Organization, UB.Organization),
+        (UB.degreeFrom, UB.Person, UB.University),
+        (UB.teachingAssistantOf, UB.TeachingAssistant, UB.Course),
+    ):
+        g.add_spo(prop, RDFS.domain, domain)
+        g.add_spo(prop, RDFS.range, range_)
+
+    # -- the Chair restriction: ∃ headOf.Department ⊑ Chair --
+    restriction = UB.HeadOfDepartmentRestriction
+    g.add_spo(restriction, RDF.type, OWL.Restriction)
+    g.add_spo(restriction, OWL.onProperty, UB.headOf)
+    g.add_spo(restriction, OWL.someValuesFrom, UB.Department)
+    g.add_spo(restriction, RDFS.subClassOf, UB.Chair)
+
+    return g
+
+
+class LUBMGenerator:
+    """Generate LUBM(N)-shaped instance data.
+
+    Parameters
+    ----------
+    universities:
+        N of LUBM(N).
+    departments_per_university, faculty_per_department, ...:
+        Size knobs; defaults keep real LUBM's *ratios* (students ~ 10x
+        faculty, ~1 course and ~1.5 publications per faculty member) at a
+        pure-Python-friendly absolute scale.
+    cross_university_fraction:
+        Probability that a graduate student's undergraduate degree points
+        to a different university (LUBM behaviour: most do).
+    """
+
+    def __init__(
+        self,
+        universities: int,
+        departments_per_university: int = 3,
+        faculty_per_department: int = 6,
+        students_per_faculty: int = 8,
+        graduate_fraction: float = 0.25,
+        courses_per_faculty: int = 1,
+        publications_per_faculty: int = 2,
+        cross_university_fraction: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if universities <= 0:
+            raise ValueError("need at least one university")
+        self.universities = universities
+        self.departments_per_university = departments_per_university
+        self.faculty_per_department = faculty_per_department
+        self.students_per_faculty = students_per_faculty
+        self.graduate_fraction = graduate_fraction
+        self.courses_per_faculty = courses_per_faculty
+        self.publications_per_faculty = publications_per_faculty
+        self.cross_university_fraction = cross_university_fraction
+        self.seed = seed
+
+    # -- naming (the grouper below relies on this layout) ---------------------
+
+    @staticmethod
+    def university_uri(u: int) -> URI:
+        return URI(f"http://www.University{u}.edu")
+
+    @staticmethod
+    def entity_uri(u: int, local: str) -> URI:
+        return URI(f"http://www.University{u}.edu/{local}")
+
+    def generate(self) -> Graph:
+        g = Graph()
+        rng = rng_for(self.seed, "lubm", self.universities)
+        faculty_ranks = (UB.FullProfessor, UB.AssociateProfessor, UB.AssistantProfessor)
+
+        for u in range(self.universities):
+            univ = self.university_uri(u)
+            g.add_spo(univ, RDF.type, UB.University)
+
+            for d in range(self.departments_per_university):
+                dept = self.entity_uri(u, f"Department{d}")
+                g.add_spo(dept, RDF.type, UB.Department)
+                g.add_spo(dept, UB.subOrganizationOf, univ)
+
+                research_group = self.entity_uri(u, f"Department{d}/ResearchGroup0")
+                g.add_spo(research_group, RDF.type, UB.ResearchGroup)
+                g.add_spo(research_group, UB.subOrganizationOf, dept)
+
+                faculty: list[URI] = []
+                courses: list[URI] = []
+                for f in range(self.faculty_per_department):
+                    prof = self.entity_uri(u, f"Department{d}/Faculty{f}")
+                    faculty.append(prof)
+                    g.add_spo(prof, RDF.type, faculty_ranks[f % len(faculty_ranks)])
+                    g.add_spo(prof, UB.worksFor, dept)
+                    if f == 0:
+                        # Department head: the Chair restriction's trigger.
+                        g.add_spo(prof, UB.headOf, dept)
+                    for c in range(self.courses_per_faculty):
+                        course = self.entity_uri(
+                            u, f"Department{d}/Course{f}_{c}"
+                        )
+                        courses.append(course)
+                        g.add_spo(course, RDF.type, UB.Course)
+                        g.add_spo(prof, UB.teacherOf, course)
+                    for p in range(self.publications_per_faculty):
+                        pub = self.entity_uri(
+                            u, f"Department{d}/Publication{f}_{p}"
+                        )
+                        g.add_spo(pub, RDF.type, UB.Publication)
+                        g.add_spo(pub, UB.publicationAuthor, prof)
+
+                num_students = self.students_per_faculty * len(faculty)
+                num_grads = int(num_students * self.graduate_fraction)
+                for s in range(num_students):
+                    is_grad = s < num_grads
+                    student = self.entity_uri(u, f"Department{d}/Student{s}")
+                    g.add_spo(
+                        student,
+                        RDF.type,
+                        UB.GraduateStudent if is_grad else UB.UndergraduateStudent,
+                    )
+                    g.add_spo(student, UB.memberOf, dept)
+                    for course in rng.sample(courses, k=min(2, len(courses))):
+                        g.add_spo(student, UB.takesCourse, course)
+                    if is_grad:
+                        g.add_spo(student, UB.advisor, rng.choice(faculty))
+                        # The cross-university edge class: where the
+                        # undergrad degree came from.
+                        if (
+                            self.universities > 1
+                            and rng.random() < self.cross_university_fraction
+                        ):
+                            other = rng.randrange(self.universities - 1)
+                            if other >= u:
+                                other += 1
+                        else:
+                            other = u
+                        g.add_spo(
+                            student,
+                            UB.undergraduateDegreeFrom,
+                            self.university_uri(other),
+                        )
+        return g
+
+    def domain_grouper(self) -> Callable[[Term], str | None]:
+        """Resource -> university key, the paper's LUBM-specific policy."""
+
+        def group_of(term: Term) -> str | None:
+            if isinstance(term, URI) and term.value.startswith("http://www.University"):
+                host_end = term.value.find("/", len("http://") + 1)
+                if host_end < 0:
+                    return term.value
+                return term.value[:host_end]
+            return None
+
+        return group_of
+
+    def dataset(self) -> SyntheticDataset:
+        return SyntheticDataset(
+            name=f"LUBM-{self.universities}",
+            ontology=lubm_ontology(),
+            data=self.generate(),
+            domain_grouper=self.domain_grouper(),
+            seed=self.seed,
+        )
+
+
+def LUBM(n: int, seed: int = 0, **kwargs) -> SyntheticDataset:
+    """LUBM(n) convenience constructor.
+
+    >>> ds = LUBM(1)
+    >>> len(ds.data) > 100
+    True
+    """
+    return LUBMGenerator(universities=n, seed=seed, **kwargs).dataset()

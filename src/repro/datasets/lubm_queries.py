@@ -1,0 +1,186 @@
+"""The fourteen LUBM benchmark queries, against this package's generator.
+
+LUBM (Guo, Pan & Heflin 2005) ships fourteen SPARQL queries chosen to
+stress different mixes of selectivity and required inference; they are the
+standard read workload for materialized OWL stores — including the systems
+the paper targets (OWLIM's and Oracle's published evaluations run them).
+
+The queries here keep each original's *shape and inference requirements*
+but are adapted to this generator's vocabulary and instance space (our
+scaled-down generator has no emailAddress/telephone attributes, and
+specific-entity constants are parameterized on university 0, which always
+exists).  Queries whose answers need OWL-Horst inference are marked
+``requires_inference`` — on a raw (unmaterialized) graph they return
+nothing, which is the paper's motivation for materialization in one flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdf.graph import Graph
+from repro.rdf.sparql import ParsedQuery, parse_sparql
+
+_PREFIX = "PREFIX ub: <http://repro.example.org/univ-bench#>\n"
+_U0 = "http://www.University0.edu"
+_D0 = f"{_U0}/Department0"
+
+
+@dataclass(frozen=True)
+class LUBMQuery:
+    """One benchmark query with its inference requirement."""
+
+    name: str
+    sparql: str
+    #: Whether a raw (schema-unaware) graph returns zero rows.
+    requires_inference: bool
+    #: What the original LUBM query stresses.
+    description: str
+
+    def parse(self) -> ParsedQuery:
+        return parse_sparql(self.sparql)
+
+    def rows(self, graph: Graph):
+        return self.parse().select(graph)
+
+
+LUBM_QUERIES: tuple[LUBMQuery, ...] = (
+    LUBMQuery(
+        "Q1",
+        _PREFIX + f"""SELECT ?x WHERE {{
+            ?x a ub:GraduateStudent .
+            ?x ub:takesCourse <{_D0}/Course0_0> .
+        }}""",
+        requires_inference=False,
+        description="high selectivity, no inference (explicit class)",
+    ),
+    LUBMQuery(
+        "Q2",
+        _PREFIX + """SELECT ?x ?y ?z WHERE {
+            ?x a ub:GraduateStudent .
+            ?y a ub:University .
+            ?z a ub:Department .
+            ?x ub:memberOf ?z .
+            ?z ub:subOrganizationOf ?y .
+            ?x ub:undergraduateDegreeFrom ?y .
+        }""",
+        requires_inference=False,
+        description="triangular join across the whole KB",
+    ),
+    LUBMQuery(
+        "Q3",
+        _PREFIX + f"""SELECT ?x WHERE {{
+            ?x a ub:Publication .
+            ?x ub:publicationAuthor <{_D0}/Faculty0> .
+        }}""",
+        requires_inference=False,
+        description="publications of one author",
+    ),
+    LUBMQuery(
+        "Q4",
+        _PREFIX + f"""SELECT ?x WHERE {{
+            ?x a ub:Professor .
+            ?x ub:worksFor <{_D0}> .
+        }}""",
+        requires_inference=True,
+        description="Professor is a superclass: needs subclass closure",
+    ),
+    LUBMQuery(
+        "Q5",
+        _PREFIX + f"""SELECT ?x WHERE {{
+            ?x a ub:Person .
+            ?x ub:memberOf <{_D0}> .
+        }}""",
+        requires_inference=True,
+        description="Person + memberOf need subclass and subproperty closure",
+    ),
+    LUBMQuery(
+        "Q6",
+        _PREFIX + """SELECT ?x WHERE { ?x a ub:Student . }""",
+        requires_inference=True,
+        description="all students: pure subclass closure, low selectivity",
+    ),
+    LUBMQuery(
+        "Q7",
+        _PREFIX + f"""SELECT ?x ?y WHERE {{
+            ?x a ub:Student .
+            ?y a ub:Course .
+            ?x ub:takesCourse ?y .
+            <{_D0}/Faculty0> ub:teacherOf ?y .
+        }}""",
+        requires_inference=True,
+        description="students in one professor's courses",
+    ),
+    LUBMQuery(
+        "Q8",
+        _PREFIX + f"""SELECT ?x ?y WHERE {{
+            ?x a ub:Student .
+            ?y a ub:Department .
+            ?x ub:memberOf ?y .
+            ?y ub:subOrganizationOf <{_U0}> .
+        }}""",
+        requires_inference=True,
+        description="students of one university's departments",
+    ),
+    LUBMQuery(
+        "Q9",
+        _PREFIX + """SELECT ?x ?y ?z WHERE {
+            ?x a ub:Student .
+            ?y a ub:Faculty .
+            ?z a ub:Course .
+            ?x ub:advisor ?y .
+            ?y ub:teacherOf ?z .
+            ?x ub:takesCourse ?z .
+        }""",
+        requires_inference=True,
+        description="student/advisor/course triangle with class closure",
+    ),
+    LUBMQuery(
+        "Q10",
+        _PREFIX + f"""SELECT ?x WHERE {{
+            ?x a ub:Student .
+            ?x ub:takesCourse <{_D0}/Course0_0> .
+        }}""",
+        requires_inference=True,
+        description="Student superclass over one course's takers",
+    ),
+    LUBMQuery(
+        "Q11",
+        _PREFIX + f"""SELECT ?x WHERE {{
+            ?x a ub:ResearchGroup .
+            ?x ub:subOrganizationOf <{_U0}> .
+        }}""",
+        requires_inference=True,
+        description="TRANSITIVE subOrganizationOf (group -> dept -> univ)",
+    ),
+    LUBMQuery(
+        "Q12",
+        _PREFIX + f"""SELECT ?x ?y WHERE {{
+            ?x a ub:Chair .
+            ?y a ub:Department .
+            ?x ub:worksFor ?y .
+            ?y ub:subOrganizationOf <{_U0}> .
+        }}""",
+        requires_inference=True,
+        description="Chair is entirely inferred (someValuesFrom restriction)",
+    ),
+    LUBMQuery(
+        "Q13",
+        _PREFIX + f"""SELECT ?x WHERE {{
+            <{_U0}> ub:hasAlumnus ?x .
+        }}""",
+        requires_inference=True,
+        description="hasAlumnus exists only via owl:inverseOf degreeFrom",
+    ),
+    LUBMQuery(
+        "Q14",
+        _PREFIX + """SELECT ?x WHERE { ?x a ub:UndergraduateStudent . }""",
+        requires_inference=False,
+        description="trivial scan, the baseline query",
+    ),
+)
+
+
+def run_all(graph: Graph) -> dict[str, int]:
+    """Row count per query against a (presumably materialized) graph."""
+    return {q.name: len(q.rows(graph)) for q in LUBM_QUERIES}

@@ -1,0 +1,217 @@
+"""MDC-like synthetic generator.
+
+The paper's third dataset, "MDC", is a proprietary Chevron/CiSoft oilfield
+KB and is not available.  Its role in the evaluation is specific, though:
+like LUBM it triggers the reasoner's worst-case (polynomial) behaviour and
+partitions cleanly, so it is the *second* super-linear-speedup dataset
+(Figs 1 and 6 report it alongside LUBM).
+
+This generator synthesizes a KB occupying that design point, modeled on the
+published descriptions of CiSoft's smart-oilfield ontologies: oil *fields*
+containing wells, each well a deep ``partOf`` hierarchy (well -> wellbore
+-> completion -> equipment -> sensors) with **transitive** ``partOf``,
+``connectedTo`` pipework (symmetric), measurement streams, and functional
+identifiers.  Fields are near-disconnected from each other (a few shared
+pipeline interconnects), giving the strongly separable cluster structure;
+the deep transitive hierarchies give the heavy inference load.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import SyntheticDataset
+from repro.owl.vocabulary import OWL, RDF, RDFS
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Term, URI
+from repro.util.seeding import rng_for
+
+#: The oilfield vocabulary namespace.
+MDCNS = Namespace("http://repro.example.org/mdc#")
+
+
+def mdc_ontology() -> Graph:
+    g = Graph()
+
+    def sub_class(child: URI, parent: URI) -> None:
+        g.add_spo(child, RDFS.subClassOf, parent)
+
+    sub_class(MDCNS.Well, MDCNS.Asset)
+    sub_class(MDCNS.Wellbore, MDCNS.Asset)
+    sub_class(MDCNS.Completion, MDCNS.Asset)
+    sub_class(MDCNS.Equipment, MDCNS.Asset)
+    sub_class(MDCNS.Pump, MDCNS.Equipment)
+    sub_class(MDCNS.Valve, MDCNS.Equipment)
+    sub_class(MDCNS.Sensor, MDCNS.Equipment)
+    sub_class(MDCNS.PressureSensor, MDCNS.Sensor)
+    sub_class(MDCNS.TemperatureSensor, MDCNS.Sensor)
+    sub_class(MDCNS.Pipeline, MDCNS.Asset)
+    sub_class(MDCNS.Field, MDCNS.Asset)
+
+    g.add_spo(MDCNS.partOf, RDF.type, OWL.TransitiveProperty)
+    g.add_spo(MDCNS.partOf, RDFS.domain, MDCNS.Asset)
+    g.add_spo(MDCNS.partOf, RDFS.range, MDCNS.Asset)
+    g.add_spo(MDCNS.connectedTo, RDF.type, OWL.SymmetricProperty)
+    g.add_spo(MDCNS.hasPart, OWL.inverseOf, MDCNS.partOf)
+    g.add_spo(MDCNS.measures, RDFS.domain, MDCNS.Sensor)
+    g.add_spo(MDCNS.locatedIn, RDFS.range, MDCNS.Field)
+    g.add_spo(MDCNS.monitors, RDFS.subPropertyOf, MDCNS.measures)
+    # Flow topology: pipeline segments feed into each other (transitive),
+    # and geological strata stack (transitive) — together with partOf these
+    # give the KB several independently heavy recursive rules, the load
+    # profile of a real equipment/geology ontology (and what lets rule
+    # partitioning spread work across nodes).
+    g.add_spo(MDCNS.feedsInto, RDF.type, OWL.TransitiveProperty)
+    g.add_spo(MDCNS.feedsInto, RDFS.domain, MDCNS.Pipeline)
+    g.add_spo(MDCNS.locatedBelow, RDF.type, OWL.TransitiveProperty)
+    g.add_spo(MDCNS.locatedBelow, RDFS.domain, MDCNS.Stratum)
+    g.add_spo(MDCNS.Stratum, RDFS.subClassOf, MDCNS.Asset)
+    return g
+
+
+class MDCGenerator:
+    """Generate an MDC-like oilfield KB.
+
+    ``fields`` is the cluster count (the analogue of LUBM's universities);
+    ``wells_per_field`` and ``hierarchy_depth`` size each cluster and set
+    the transitive-closure load — depth d yields O(d^2) inferred ``partOf``
+    pairs per chain, the worst-case-triggering structure.
+    """
+
+    def __init__(
+        self,
+        fields: int,
+        wells_per_field: int = 6,
+        hierarchy_depth: int = 8,
+        sensors_per_well: int = 3,
+        interconnects: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if fields <= 0:
+            raise ValueError("need at least one field")
+        self.fields = fields
+        self.wells_per_field = wells_per_field
+        self.hierarchy_depth = hierarchy_depth
+        self.sensors_per_well = sensors_per_well
+        self.interconnects = interconnects
+        self.seed = seed
+
+    @staticmethod
+    def field_uri(f: int) -> URI:
+        return URI(f"http://mdc.example.org/Field{f}")
+
+    @staticmethod
+    def entity_uri(f: int, local: str) -> URI:
+        return URI(f"http://mdc.example.org/Field{f}/{local}")
+
+    def generate(self) -> Graph:
+        g = Graph()
+        rng = rng_for(self.seed, "mdc", self.fields)
+        layer_classes = (
+            MDCNS.Wellbore,
+            MDCNS.Completion,
+            MDCNS.Equipment,
+            MDCNS.Pump,
+            MDCNS.Valve,
+        )
+
+        for f in range(self.fields):
+            field = self.field_uri(f)
+            g.add_spo(field, RDF.type, MDCNS.Field)
+            field_pipeline = self.entity_uri(f, "Pipeline0")
+            g.add_spo(field_pipeline, RDF.type, MDCNS.Pipeline)
+            g.add_spo(field_pipeline, MDCNS.partOf, field)
+
+            for w in range(self.wells_per_field):
+                well = self.entity_uri(f, f"Well{w}")
+                g.add_spo(well, RDF.type, MDCNS.Well)
+                g.add_spo(well, MDCNS.partOf, field)
+                g.add_spo(well, MDCNS.locatedIn, field)
+                g.add_spo(well, MDCNS.connectedTo, field_pipeline)
+
+                # The deep partOf chain: well -> wb -> completion -> ... .
+                parent = well
+                for depth in range(self.hierarchy_depth):
+                    node = self.entity_uri(f, f"Well{w}/L{depth}")
+                    g.add_spo(node, RDF.type, layer_classes[depth % len(layer_classes)])
+                    g.add_spo(node, MDCNS.partOf, parent)
+                    parent = node
+
+                for s in range(self.sensors_per_well):
+                    sensor = self.entity_uri(f, f"Well{w}/Sensor{s}")
+                    g.add_spo(
+                        sensor,
+                        RDF.type,
+                        MDCNS.PressureSensor if s % 2 == 0 else MDCNS.TemperatureSensor,
+                    )
+                    g.add_spo(sensor, MDCNS.partOf, parent)
+                    g.add_spo(
+                        sensor,
+                        MDCNS.monitors,
+                        self.entity_uri(f, f"Well{w}/Stream{s}"),
+                    )
+
+        # Per-field flow and stratigraphy chains (both transitive), sized so
+        # their closures are comparable to the wells' partOf closure — the
+        # several-heavy-rules load profile of a real equipment/geology KB.
+        chain_len = self.wells_per_field * 3
+        for f in range(self.fields):
+            segments = [
+                self.entity_uri(f, f"Segment{i}") for i in range(chain_len)
+            ]
+            for seg in segments:
+                g.add_spo(seg, RDF.type, MDCNS.Pipeline)
+            for a, b in zip(segments, segments[1:]):
+                g.add_spo(a, MDCNS.feedsInto, b)
+            strata = [
+                self.entity_uri(f, f"Stratum{i}") for i in range(chain_len)
+            ]
+            for st in strata:
+                g.add_spo(st, RDF.type, MDCNS.Stratum)
+            for a, b in zip(strata, strata[1:]):
+                g.add_spo(a, MDCNS.locatedBelow, b)
+
+        # A few cross-field pipeline interconnects (fields are otherwise
+        # disconnected — the cleanly-partitionable property).
+        if self.fields > 1:
+            for i in range(self.interconnects):
+                a, b = rng.sample(range(self.fields), k=2)
+                g.add_spo(
+                    self.entity_uri(a, "Pipeline0"),
+                    MDCNS.connectedTo,
+                    self.entity_uri(b, "Pipeline0"),
+                )
+        return g
+
+    def domain_grouper(self) -> Callable[[Term], str | None]:
+        def group_of(term: Term) -> str | None:
+            if isinstance(term, URI) and term.value.startswith(
+                "http://mdc.example.org/Field"
+            ):
+                end = term.value.find("/", len("http://mdc.example.org/"))
+                if end < 0:
+                    return term.value
+                return term.value[:end]
+            return None
+
+        return group_of
+
+    def dataset(self) -> SyntheticDataset:
+        return SyntheticDataset(
+            name=f"MDC-{self.fields}",
+            ontology=mdc_ontology(),
+            data=self.generate(),
+            domain_grouper=self.domain_grouper(),
+            seed=self.seed,
+        )
+
+
+def MDC(fields: int, seed: int = 0, **kwargs) -> SyntheticDataset:
+    """MDC-like dataset constructor.
+
+    >>> ds = MDC(2)
+    >>> "MDC" in ds.name
+    True
+    """
+    return MDCGenerator(fields=fields, seed=seed, **kwargs).dataset()

@@ -1,0 +1,186 @@
+"""UOBM-like synthetic generator.
+
+The University Ontology Benchmark (Ma et al. 2006) extends LUBM in exactly
+the direction that matters for this paper: it adds *inter-university
+connections* — a person's friends and acquaintances span universities, so
+the instance graph stops being a set of near-disconnected university
+clusters.  The paper observes sub-linear speedups on UOBM because no
+partitioning can avoid heavy edge cuts on such a graph (Section VI-A).
+
+This generator reuses the LUBM core (same ontology plus social/transfer
+properties) and overlays:
+
+* an ``isFriendOf`` network (symmetric) whose endpoints are drawn from
+  *any* university, with ``cross_fraction`` of edges crossing clusters;
+* ``hasSameHomeTownWith`` acquaintance links, also cross-cluster and
+  **transitive** — chains of them force multi-round communication;
+* ``transferredFrom`` links from students to other universities.
+
+With the default ``cross_fraction=0.5`` roughly half the social edges are
+cut no matter how resources are grouped, reproducing UOBM's
+high-replication profile.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import SyntheticDataset
+from repro.datasets.lubm import LUBMGenerator, UB, lubm_ontology
+from repro.owl.vocabulary import OWL, RDF, RDFS
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, URI
+from repro.util.seeding import rng_for
+
+
+def uobm_ontology() -> Graph:
+    """LUBM's TBox plus UOBM's social properties and a union class
+    (real UOBM leans on owl:unionOf; ``Collegian`` covers every student
+    kind, exercising the list-class compiler)."""
+    from repro.rdf.terms import BNode
+
+    g = lubm_ontology()
+    g.add_spo(UB.isFriendOf, RDF.type, OWL.SymmetricProperty)
+    g.add_spo(UB.isFriendOf, RDFS.domain, UB.Person)
+    g.add_spo(UB.isFriendOf, RDFS.range, UB.Person)
+    g.add_spo(UB.hasSameHomeTownWith, RDF.type, OWL.TransitiveProperty)
+    g.add_spo(UB.hasSameHomeTownWith, RDF.type, OWL.SymmetricProperty)
+    g.add_spo(UB.transferredFrom, RDFS.subPropertyOf, UB.degreeFrom)
+    # Collegian = unionOf(UndergraduateStudent, GraduateStudent)
+    l1, l2 = BNode("uobmCollegian1"), BNode("uobmCollegian2")
+    g.add_spo(UB.Collegian, OWL.unionOf, l1)
+    g.add_spo(l1, RDF.first, UB.UndergraduateStudent)
+    g.add_spo(l1, RDF.rest, l2)
+    g.add_spo(l2, RDF.first, UB.GraduateStudent)
+    g.add_spo(l2, RDF.rest, RDF.nil)
+    return g
+
+
+class UOBMGenerator:
+    """Generate UOBM-like data: a LUBM core plus a cross-university social
+    layer.
+
+    ``social_edges_per_person`` controls density; ``cross_fraction`` is the
+    probability a social edge leaves the person's university (the
+    separability knob — at 0.0 this degenerates to LUBM-like clustering,
+    at 0.5+ the graph has no good cuts).
+    """
+
+    def __init__(
+        self,
+        universities: int,
+        social_edges_per_person: int = 2,
+        cross_fraction: float = 0.5,
+        hometown_chain_length: int = 4,
+        seed: int = 0,
+        **lubm_kwargs,
+    ) -> None:
+        self.universities = universities
+        self.social_edges_per_person = social_edges_per_person
+        self.cross_fraction = cross_fraction
+        self.hometown_chain_length = hometown_chain_length
+        self.seed = seed
+        self.core = LUBMGenerator(universities=universities, seed=seed, **lubm_kwargs)
+
+    def generate(self) -> Graph:
+        g = self.core.generate()
+        rng = rng_for(self.seed, "uobm", self.universities)
+
+        # Collect the people per university from the generated core.
+        people_by_univ: dict[int, list[URI]] = {u: [] for u in range(self.universities)}
+        for t in g.match(p=RDF.type):
+            if t.o in (
+                UB.UndergraduateStudent,
+                UB.GraduateStudent,
+                UB.FullProfessor,
+                UB.AssociateProfessor,
+                UB.AssistantProfessor,
+            ):
+                univ = _university_index(t.s)
+                if univ is not None:
+                    people_by_univ[univ].append(t.s)  # type: ignore[arg-type]
+        all_people = [p for group in people_by_univ.values() for p in group]
+
+        # Friendship edges.
+        for person in all_people:
+            home = _university_index(person)
+            for _ in range(self.social_edges_per_person):
+                if (
+                    self.universities > 1
+                    and rng.random() < self.cross_fraction
+                ):
+                    other_univ = rng.randrange(self.universities - 1)
+                    if home is not None and other_univ >= home:
+                        other_univ += 1
+                else:
+                    other_univ = home if home is not None else 0
+                candidates = people_by_univ[other_univ]
+                if candidates:
+                    g.add_spo(person, UB.isFriendOf, rng.choice(candidates))
+
+        # Transitive hometown chains across universities.  Chains are
+        # *disjoint* (people are dealt from one shuffled deck): the
+        # symmetric+transitive closure of each chain is quadratic in its
+        # length, and overlapping chains would merge into one giant
+        # component whose closure dwarfs the rest of the KB.
+        deck = list(all_people)
+        rng.shuffle(deck)
+        num_chains = max(1, len(all_people) // 20)
+        for c in range(num_chains):
+            chain = deck[
+                c * self.hometown_chain_length : (c + 1) * self.hometown_chain_length
+            ]
+            for a, b in zip(chain, chain[1:]):
+                g.add_spo(a, UB.hasSameHomeTownWith, b)
+
+        # Student transfers.
+        if self.universities > 1:
+            for univ, group in people_by_univ.items():
+                for person in group[:: max(1, len(group) // 3)]:
+                    other = rng.randrange(self.universities - 1)
+                    if other >= univ:
+                        other += 1
+                    g.add_spo(
+                        person,
+                        UB.transferredFrom,
+                        LUBMGenerator.university_uri(other),
+                    )
+        return g
+
+    def domain_grouper(self) -> Callable[[Term], str | None]:
+        return self.core.domain_grouper()
+
+    def dataset(self) -> SyntheticDataset:
+        return SyntheticDataset(
+            name=f"UOBM-{self.universities}",
+            ontology=uobm_ontology(),
+            data=self.generate(),
+            domain_grouper=self.domain_grouper(),
+            seed=self.seed,
+        )
+
+
+def _university_index(term: Term) -> int | None:
+    if not isinstance(term, URI):
+        return None
+    value = term.value
+    prefix = "http://www.University"
+    if not value.startswith(prefix):
+        return None
+    end = value.find(".", len(prefix))
+    if end < 0:
+        return None
+    try:
+        return int(value[len(prefix) : end])
+    except ValueError:
+        return None
+
+
+def UOBM(n: int, seed: int = 0, **kwargs) -> SyntheticDataset:
+    """UOBM(n) convenience constructor.
+
+    >>> ds = UOBM(2)
+    >>> "UOBM" in ds.name
+    True
+    """
+    return UOBMGenerator(universities=n, seed=seed, **kwargs).dataset()

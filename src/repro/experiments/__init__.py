@@ -1,0 +1,63 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment follows the same contract: ``run(scale) ->
+ExperimentResult`` with the rows/series the paper reports, printed as an
+ASCII table by the CLI (``python -m repro.experiments <exp> [--scale s]``).
+
+==========  =================================================================
+experiment  reproduces
+==========  =================================================================
+``fig1``    data-partitioning speedups (graph policy) for LUBM/UOBM/MDC
+``fig2``    reasoning/IO/sync/aggregation overheads vs k (LUBM, file IPC)
+``fig3``    measured vs theoretical-max speedup (LUBM, cubic model)
+``fig4``    cubic regression of serial reasoning time vs dataset size
+``fig5``    speedups of the three data-partitioning policies (LUBM)
+``table1``  partitioning metrics: Bal / OR / IR / partition time
+``fig6``    rule-partitioning speedups for LUBM/UOBM/MDC
+==========  =================================================================
+
+Scales: sizes are pure-Python-feasible reductions of the paper's workloads
+(DESIGN.md §2); the *shape* of each result — who wins, roughly by how much,
+where the crossovers are — is the reproduction target, not the absolute
+numbers measured on a 2008 Opteron cluster.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    SCALES,
+    build_dataset,
+    speedup_series,
+)
+from repro.experiments import (
+    ablations,
+    queries,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "table1": table1.run,
+    "ablations": ablations.run,
+    "queries": queries.run,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "SCALES",
+    "build_dataset",
+    "speedup_series",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro.experiments`` or the
+installed ``repro-experiments`` script.
+
+Examples::
+
+    repro-experiments fig1                    # one experiment, small scale
+    repro-experiments all --scale tiny        # every table/figure, quick
+    repro-experiments table1 --csv out.csv    # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments import EXPERIMENTS, SCALES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Soma & Prasanna, "
+        "ICPP 2008 (see EXPERIMENTS.md for the paper-vs-measured record).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="workload size preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="top-level RNG seed")
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the rows as CSV (experiment name is appended when "
+        "running 'all')",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"  [{name} completed in {elapsed:.1f}s]")
+        print()
+        if args.csv:
+            path = args.csv
+            if len(names) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}_{name}.{ext}" if dot else f"{path}_{name}"
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(result.to_csv() + "\n")
+            print(f"  [rows written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Shared experiment machinery: scales, dataset construction, the speedup
+runner, and the result container."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.datasets import LUBM, MDC, UOBM, SyntheticDataset
+from repro.owl.reasoner import HorstReasoner, Strategy
+from repro.parallel.costmodel import CostModel
+from repro.parallel.driver import ParallelReasoner
+from repro.parallel.simulated import SimulatedCluster, SimulatedRun
+from repro.partitioning.policies import PartitioningPolicy
+from repro.util.tables import ascii_table, to_csv
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizing preset.
+
+    The paper's absolute sizes (LUBM-10 = 1M triples on a 16-node cluster)
+    are out of reach for single-core pure Python; each preset keeps the
+    benchmark *structure* (cluster counts >= max k, same entity ratios) at
+    a feasible triple count.
+    """
+
+    name: str
+    ks: tuple[int, ...]
+    rule_ks: tuple[int, ...]
+    lubm_universities: int
+    lubm_kwargs: dict
+    uobm_universities: int
+    uobm_kwargs: dict
+    mdc_fields: int
+    mdc_kwargs: dict
+    #: LUBM university counts for the Fig 4 size sweep.
+    fig4_sizes: tuple[int, ...]
+    #: Reasoning strategy for the speedup experiments.  ``backward`` is the
+    #: paper's Jena-style driver (the super-linear regime); see fig1 notes.
+    speedup_strategy: Strategy = "backward"
+
+
+_TINY_LUBM = dict(departments_per_university=1, faculty_per_department=2,
+                  students_per_faculty=3)
+_SMALL_LUBM = dict(departments_per_university=1, faculty_per_department=3,
+                   students_per_faculty=4)
+
+SCALES: dict[str, Scale] = {
+    # For unit tests and pytest-benchmark: seconds, not minutes.
+    "tiny": Scale(
+        name="tiny",
+        ks=(1, 2, 4),
+        rule_ks=(2, 3),
+        lubm_universities=4,
+        lubm_kwargs=_TINY_LUBM,
+        uobm_universities=3,
+        uobm_kwargs=dict(_TINY_LUBM, social_edges_per_person=2),
+        mdc_fields=4,
+        mdc_kwargs=dict(wells_per_field=3, hierarchy_depth=5),
+        fig4_sizes=(1, 2, 3, 4, 6),
+    ),
+    # CLI default: a few minutes end to end.
+    "small": Scale(
+        name="small",
+        ks=(1, 2, 4, 8),
+        rule_ks=(2, 3, 4),
+        lubm_universities=8,
+        lubm_kwargs=_SMALL_LUBM,
+        uobm_universities=4,
+        uobm_kwargs=dict(_SMALL_LUBM, social_edges_per_person=2),
+        mdc_fields=8,
+        mdc_kwargs=dict(wells_per_field=4, hierarchy_depth=6),
+        fig4_sizes=(1, 2, 4, 6, 8),
+    ),
+    # The paper's processor range (up to 16); tens of minutes.
+    "paper": Scale(
+        name="paper",
+        ks=(1, 2, 4, 8, 16),
+        rule_ks=(2, 3, 4),
+        lubm_universities=16,
+        lubm_kwargs=_SMALL_LUBM,
+        uobm_universities=8,
+        uobm_kwargs=dict(_SMALL_LUBM, social_edges_per_person=2),
+        mdc_fields=16,
+        mdc_kwargs=dict(wells_per_field=4, hierarchy_depth=7),
+        fig4_sizes=(1, 2, 4, 8, 12, 16),
+    ),
+}
+
+
+def build_dataset(name: str, scale: Scale, seed: int = 0) -> SyntheticDataset:
+    """Construct one of the paper's three benchmarks at a given scale."""
+    if name == "lubm":
+        return LUBM(scale.lubm_universities, seed=seed, **scale.lubm_kwargs)
+    if name == "uobm":
+        return UOBM(scale.uobm_universities, seed=seed, **scale.uobm_kwargs)
+    if name == "mdc":
+        return MDC(scale.mdc_fields, seed=seed, **scale.mdc_kwargs)
+    raise ValueError(f"unknown dataset {name!r} (expected lubm/uobm/mdc)")
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendering for one experiment."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = ascii_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+    def to_csv(self) -> str:
+        return to_csv(self.headers, self.rows)
+
+    def column(self, header: str) -> list:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class SpeedupPoint:
+    """One point of a speedup curve."""
+
+    dataset: str
+    k: int
+    serial_time: float
+    makespan: float
+    speedup: float
+    work_speedup: float
+    rounds: int
+    run: SimulatedRun | None = None
+
+
+def measure_serial(
+    dataset: SyntheticDataset, strategy: Strategy
+) -> tuple[float, int]:
+    """Serial materialization (time seconds, work units)."""
+    reasoner = HorstReasoner(dataset.ontology)
+    t0 = time.perf_counter()
+    result = reasoner.materialize(dataset.data, strategy=strategy)
+    return time.perf_counter() - t0, result.work
+
+
+def speedup_series(
+    dataset: SyntheticDataset,
+    ks: Sequence[int],
+    approach: str = "data",
+    policy_factory: Callable[[], PartitioningPolicy] | None = None,
+    strategy: Strategy = "backward",
+    cost_model: CostModel | None = None,
+    seed: int = 0,
+) -> list[SpeedupPoint]:
+    """The workhorse of Figs 1, 3, 5, 6: serial baseline once, then one
+    simulated parallel run per k.
+
+    k=1 is reported as the serial run (speedup 1.0) — the paper's curves
+    are normalized the same way.
+    """
+    cost_model = cost_model if cost_model is not None else CostModel.file_ipc()
+    serial_time, serial_work = measure_serial(dataset, strategy)
+    points: list[SpeedupPoint] = []
+    for k in ks:
+        if k == 1:
+            points.append(
+                SpeedupPoint(
+                    dataset=dataset.name,
+                    k=1,
+                    serial_time=serial_time,
+                    makespan=serial_time,
+                    speedup=1.0,
+                    work_speedup=1.0,
+                    rounds=1,
+                )
+            )
+            continue
+        reasoner = ParallelReasoner(
+            dataset.ontology,
+            k=k,
+            approach=approach,  # type: ignore[arg-type]
+            policy=policy_factory() if policy_factory else None,
+            strategy=strategy,
+            seed=seed,
+        )
+        sim = SimulatedCluster(reasoner, cost_model)
+        run = sim.run(dataset.data)
+        points.append(
+            SpeedupPoint(
+                dataset=dataset.name,
+                k=k,
+                serial_time=serial_time,
+                makespan=run.makespan,
+                speedup=run.speedup(serial_time),
+                work_speedup=run.work_speedup(serial_work),
+                rounds=run.result.stats.num_rounds,
+                run=run,
+            )
+        )
+    return points

@@ -1,0 +1,88 @@
+"""Fig 3 — measured speedup vs the theoretical maximum (LUBM).
+
+Paper method: the cubic model of Fig 4 predicts the time of a perfectly
+balanced replication-free partition, ``T(N/k)``; the theoretical maximum
+speedup is ``T(N)/T(N/k)``.  The figure plots that curve against the
+measured speedup, both for the slowest partition alone ("reasoning for the
+slowest partition") and for the overall parallel time; measured tracks the
+model closely, so better communication would close most of the remaining
+gap.
+
+Shape checks: measured_overall <= measured_slowest_partition <=
+theoretical (up to partitioning imperfection), and measured within a small
+factor of theoretical.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    SCALES,
+    Scale,
+    build_dataset,
+    speedup_series,
+)
+from repro.experiments.fig4 import collect_points
+from repro.partitioning.policies import GraphPartitioningPolicy
+from repro.perfmodel import fit_cubic, theoretical_max_speedup
+
+
+def run(scale: Scale | str = "small", seed: int = 0) -> ExperimentResult:
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+
+    # The empirical models (Fig 4's machinery): seconds for the
+    # paper-matching series, work units for the machine-independent one.
+    time_points, work_points = collect_points(scale, seed=seed)
+    time_model = fit_cubic(time_points)
+    work_model = fit_cubic(work_points)
+
+    dataset = build_dataset("lubm", scale, seed=seed)
+    total_nodes = len(dataset.data.resources())
+    points = speedup_series(
+        dataset,
+        scale.ks,
+        approach="data",
+        policy_factory=lambda: GraphPartitioningPolicy(seed=seed),
+        strategy=scale.speedup_strategy,
+    )
+
+    result = ExperimentResult(
+        name="fig3",
+        title=f"Fig 3: measured vs theoretical max speedup, LUBM ({scale.name} scale)",
+        headers=[
+            "k",
+            "measured_overall",
+            "measured_slowest_part",
+            "theoretical_max",
+            "work_measured",
+            "work_theoretical",
+        ],
+    )
+    for p in points:
+        theory = theoretical_max_speedup(time_model, total_nodes, p.k)
+        work_theory = theoretical_max_speedup(work_model, total_nodes, p.k)
+        if p.k == 1:
+            slowest = 1.0
+        else:
+            # Speedup counting only the slowest partition's reasoning time
+            # (the paper's second series): communication excluded.
+            slowest_time = max(p.run.per_node_reasoning) if p.run else p.makespan
+            slowest = p.serial_time / slowest_time if slowest_time > 0 else float("inf")
+        result.rows.append(
+            [
+                p.k,
+                round(p.speedup, 2),
+                round(slowest, 2),
+                round(theory, 2),
+                round(p.work_speedup, 2),
+                round(work_theory, 2),
+            ]
+        )
+    result.notes.append("time model:  " + time_model.describe())
+    result.notes.append("work model:  " + work_model.describe())
+    result.notes.append(
+        "paper shape: measured below and tracking the theoretical maximum; "
+        "the residual gap is replication + imbalance + communication"
+    )
+    return result

@@ -1,0 +1,85 @@
+"""Fig 4 — regressing a cubic performance model from serial reasoning times.
+
+Paper method: run the serial reasoner on LUBM-1, LUBM-5, LUBM-10, ... and
+least-squares-fit a cubic in the node count ("since the worst case of the
+reasoning for the rule set is cubic, fitting a cubic model is reasonable").
+
+Shape checks: R² close to 1; the model is super-linear over the measured
+range (T(2n) > 2·T(n)), which is what makes Fig 3's theoretical max exceed
+k.  We fit both wall-clock seconds and deterministic work units; the work
+fit is what tests assert on (machine-independent).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets import LUBM
+from repro.experiments.common import ExperimentResult, SCALES, Scale
+from repro.owl.reasoner import HorstReasoner
+from repro.perfmodel import PerformancePoint, fit_cubic
+
+
+def collect_points(
+    scale: Scale, seed: int = 0, repeats: int = 2
+) -> tuple[list[PerformancePoint], list[PerformancePoint]]:
+    """Serial sweep over the Fig 4 sizes.  Returns (seconds points,
+    work-unit points), both against the instance-graph node count.
+
+    Wall time takes the min over ``repeats`` runs — the usual scheduling-
+    noise reduction; a noisy point can otherwise flip the small cubic
+    coefficient's sign and wreck Fig 3's theoretical-max column.  Work
+    units are deterministic and measured once.
+    """
+    time_points: list[PerformancePoint] = []
+    work_points: list[PerformancePoint] = []
+    for universities in scale.fig4_sizes:
+        dataset = LUBM(universities, seed=seed, **scale.lubm_kwargs)
+        nodes = len(dataset.data.resources())
+        reasoner = HorstReasoner(dataset.ontology)
+        best = None
+        res = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            res = reasoner.materialize(dataset.data, strategy=scale.speedup_strategy)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        label = f"LUBM-{universities}"
+        time_points.append(PerformancePoint(size=nodes, time=best, label=label))
+        work_points.append(PerformancePoint(size=nodes, time=res.work, label=label))
+    return time_points, work_points
+
+
+def run(scale: Scale | str = "small", seed: int = 0) -> ExperimentResult:
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    time_points, work_points = collect_points(scale, seed=seed)
+    time_model = fit_cubic(time_points)
+    work_model = fit_cubic(work_points)
+
+    result = ExperimentResult(
+        name="fig4",
+        title=f"Fig 4: cubic performance model from serial LUBM runs ({scale.name} scale)",
+        headers=["dataset", "nodes", "time_s", "model_s", "work", "model_work"],
+    )
+    for tp, wp in zip(time_points, work_points):
+        result.rows.append(
+            [
+                tp.label,
+                int(tp.size),
+                round(tp.time, 3),
+                round(time_model(tp.size), 3),
+                int(wp.time),
+                int(work_model(wp.size)),
+            ]
+        )
+    result.notes.append("time model:  " + time_model.describe())
+    result.notes.append("work model:  " + work_model.describe())
+    growth = work_points[-1].time / max(work_points[0].time, 1) / (
+        work_points[-1].size / work_points[0].size
+    )
+    result.notes.append(
+        f"super-linearity factor over the range (work growth / size growth): "
+        f"{growth:.2f} (paper regime: > 1)"
+    )
+    return result

@@ -1,0 +1,31 @@
+"""Multilevel k-way graph partitioning — our METIS substitute.
+
+The paper partitions the RDF resource graph with Metis; offline, we build
+the same algorithm family from scratch:
+
+1. **Coarsening** (:mod:`repro.graphpart.coarsen`) — repeated heavy-edge
+   matching collapses the graph until it is small,
+2. **Initial partitioning** (:mod:`repro.graphpart.initial`) — greedy graph
+   growing assigns the coarsest graph to k balanced parts,
+3. **Uncoarsening + refinement** (:mod:`repro.graphpart.refine`) — the
+   assignment is projected back level by level, with boundary
+   Kernighan–Lin/FM-style greedy refinement at each level.
+
+Entry point: :func:`repro.graphpart.kway.partition_graph`.  The contract
+matches what the paper needs from Metis: near-equal vertex weights per part,
+minimized edge cut, fast enough to be "three orders of magnitude smaller
+than the inferencing time".
+"""
+
+from repro.graphpart.csr import CSRGraph
+from repro.graphpart.kway import MultilevelPartitioner, partition_graph
+from repro.graphpart.quality import balance, edge_cut, part_weights
+
+__all__ = [
+    "CSRGraph",
+    "MultilevelPartitioner",
+    "partition_graph",
+    "edge_cut",
+    "balance",
+    "part_weights",
+]

@@ -1,0 +1,164 @@
+"""Compressed sparse row graph representation.
+
+The partitioner's working format: undirected, weighted, no self-loops,
+parallel edges merged by weight summation.  Built once from an edge list
+with vectorized numpy (sort + reduce), then traversed with plain loops
+during matching/refinement (the arrays are small by then).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class CSRGraph:
+    """Undirected weighted graph in CSR form.
+
+    Attributes
+    ----------
+    n : int
+        Vertex count; vertices are ``0..n-1``.
+    xadj : int64[n+1]
+        Adjacency offsets; neighbors of ``v`` are
+        ``adjncy[xadj[v]:xadj[v+1]]``.
+    adjncy : int64[2m]
+        Neighbor ids (each undirected edge appears in both endpoints' lists).
+    adjwgt : int64[2m]
+        Edge weights, parallel to ``adjncy``.
+    vwgt : int64[n]
+        Vertex weights.
+    """
+
+    __slots__ = ("n", "xadj", "adjncy", "adjwgt", "vwgt")
+
+    def __init__(
+        self,
+        n: int,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        adjwgt: np.ndarray,
+        vwgt: np.ndarray,
+    ) -> None:
+        if len(xadj) != n + 1:
+            raise ValueError(f"xadj must have n+1={n + 1} entries, got {len(xadj)}")
+        if len(adjncy) != len(adjwgt):
+            raise ValueError("adjncy and adjwgt must be parallel")
+        if len(vwgt) != n:
+            raise ValueError(f"vwgt must have n={n} entries, got {len(vwgt)}")
+        self.n = n
+        self.xadj = xadj
+        self.adjncy = adjncy
+        self.adjwgt = adjwgt
+        self.vwgt = vwgt
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: np.ndarray,
+        edge_weights: np.ndarray | None = None,
+        vertex_weights: np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build from an (m, 2) edge array.
+
+        Self-loops are dropped (they never contribute to a cut); duplicate
+        and reverse-duplicate edges are merged with weights summed.
+
+        >>> g = CSRGraph.from_edges(3, np.array([[0, 1], [1, 0], [1, 2]]))
+        >>> g.degree(1)
+        2
+        >>> g.edge_weight_between(0, 1)
+        2
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size and (edges.min() < 0 or edges.max() >= n):
+            raise ValueError(f"edge endpoint out of range [0, {n})")
+        if edge_weights is None:
+            edge_weights = np.ones(len(edges), dtype=np.int64)
+        else:
+            edge_weights = np.asarray(edge_weights, dtype=np.int64)
+            if len(edge_weights) != len(edges):
+                raise ValueError("edge_weights must be parallel to edges")
+
+        loop_mask = edges[:, 0] != edges[:, 1]
+        edges = edges[loop_mask]
+        edge_weights = edge_weights[loop_mask]
+
+        # Canonicalize (lo, hi), merge duplicates by weight sum.
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        if len(lo):
+            keys = lo * n + hi
+            order = np.argsort(keys, kind="stable")
+            keys, lo, hi, edge_weights = (
+                keys[order],
+                lo[order],
+                hi[order],
+                edge_weights[order],
+            )
+            boundary = np.empty(len(keys), dtype=bool)
+            boundary[0] = True
+            boundary[1:] = keys[1:] != keys[:-1]
+            group_ids = np.cumsum(boundary) - 1
+            merged_w = np.zeros(group_ids[-1] + 1, dtype=np.int64)
+            np.add.at(merged_w, group_ids, edge_weights)
+            lo, hi = lo[boundary], hi[boundary]
+            edge_weights = merged_w
+
+        # Symmetrize and bucket into CSR.
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        wgt = np.concatenate([edge_weights, edge_weights])
+        degree = np.bincount(src, minlength=n)
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degree, out=xadj[1:])
+        order = np.argsort(src, kind="stable")
+        adjncy = dst[order]
+        adjwgt = wgt[order]
+
+        if vertex_weights is None:
+            vwgt = np.ones(n, dtype=np.int64)
+        else:
+            vwgt = np.asarray(vertex_weights, dtype=np.int64)
+        return cls(n, xadj, adjncy, adjwgt, vwgt)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count."""
+        return len(self.adjncy) // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def edge_weight_between(self, u: int, v: int) -> int:
+        """Weight of edge (u, v), 0 if absent.  Linear in deg(u)."""
+        nbrs = self.neighbors(u)
+        idx = np.nonzero(nbrs == v)[0]
+        if len(idx) == 0:
+            return 0
+        return int(self.neighbor_weights(u)[idx[0]])
+
+    def total_vertex_weight(self) -> int:
+        return int(self.vwgt.sum())
+
+    def iter_edges(self) -> Iterator[tuple[int, int, int]]:
+        """Yield each undirected edge once as (u, v, weight) with u < v."""
+        for u in range(self.n):
+            start, end = self.xadj[u], self.xadj[u + 1]
+            for idx in range(start, end):
+                v = int(self.adjncy[idx])
+                if u < v:
+                    yield u, v, int(self.adjwgt[idx])
+
+    def __repr__(self) -> str:
+        return f"<CSRGraph n={self.n} m={self.num_edges}>"

@@ -1,0 +1,84 @@
+"""Initial k-way partitioning of the coarsest graph by greedy graph growing.
+
+Parts are grown one at a time from a BFS-ish frontier ordered by connection
+weight (Karypis & Kumar's GGGP, simplified to a single growing pass per
+part).  Unreached vertices — isolated vertices, or components exhausted
+mid-part — are swept into the lightest parts at the end.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graphpart.csr import CSRGraph
+from repro.util.seeding import rng_for
+
+
+def greedy_growing(graph: CSRGraph, k: int, seed: int) -> np.ndarray:
+    """Assign each vertex of (the coarsest) ``graph`` to one of ``k`` parts.
+
+    Returns an int64 assignment array.  Target per-part weight is
+    ``total/k``; each part grows until it reaches the target, preferring
+    the frontier vertex most strongly connected to the part (heaviest total
+    edge weight into it).
+    """
+    n = graph.n
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k == 1:
+        return np.zeros(n, dtype=np.int64)
+
+    assignment = np.full(n, -1, dtype=np.int64)
+    total_weight = graph.total_vertex_weight()
+    target = total_weight / k
+    rng = rng_for(seed, "initial")
+    visit_order = list(range(n))
+    rng.shuffle(visit_order)
+    unassigned_cursor = 0
+
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+
+    for part in range(k - 1):
+        part_weight = 0
+        # Max-heap of (–connection_weight, tiebreak, vertex); lazily
+        # re-validated because connection weights only ever grow.
+        heap: list[tuple[int, int, int]] = []
+        counter = 0
+        while part_weight < target:
+            v = -1
+            while heap:
+                _, _, cand = heapq.heappop(heap)
+                if assignment[cand] < 0:
+                    v = cand
+                    break
+            if v < 0:
+                # Frontier exhausted (component boundary): seed from the
+                # next unassigned vertex in the shuffled order.
+                while unassigned_cursor < n and assignment[visit_order[unassigned_cursor]] >= 0:
+                    unassigned_cursor += 1
+                if unassigned_cursor >= n:
+                    break
+                v = visit_order[unassigned_cursor]
+            assignment[v] = part
+            part_weight += int(vwgt[v])
+            for idx in range(xadj[v], xadj[v + 1]):
+                u = int(adjncy[idx])
+                if assignment[u] < 0:
+                    counter += 1
+                    heapq.heappush(heap, (-int(adjwgt[idx]), counter, u))
+
+    # Remaining vertices form the last part... unless that unbalances it:
+    # sweep them into the currently-lightest part.
+    part_weights = np.zeros(k, dtype=np.int64)
+    for v in range(n):
+        if assignment[v] >= 0:
+            part_weights[assignment[v]] += vwgt[v]
+    for v in visit_order:
+        if assignment[v] >= 0:
+            continue
+        lightest = int(np.argmin(part_weights))
+        assignment[v] = lightest
+        part_weights[lightest] += vwgt[v]
+    return assignment

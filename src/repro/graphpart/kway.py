@@ -1,0 +1,173 @@
+"""Multilevel k-way partitioning driver.
+
+Pipeline: coarsen (heavy-edge matching) -> greedy graph growing on the
+coarsest graph -> project back level by level with boundary refinement.
+See the package docstring for the METIS lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphpart.coarsen import coarsen
+from repro.graphpart.csr import CSRGraph
+from repro.graphpart.initial import greedy_growing
+from repro.graphpart.quality import balance, edge_cut
+from repro.graphpart.refine import refine
+from repro.util.seeding import derive_seed
+
+#: Coarsening stops when the graph has at most this many vertices per part
+#: (METIS's default neighborhood; smaller makes initial partitioning
+#: cheaper but loses structure).
+COARSEN_VERTICES_PER_PART = 30
+
+
+@dataclass
+class PartitionReport:
+    """Result of one partitioning run, with quality diagnostics."""
+
+    assignment: np.ndarray
+    k: int
+    edge_cut: int
+    balance: float
+    levels: int
+
+
+class MultilevelPartitioner:
+    """Configurable multilevel k-way partitioner.
+
+    >>> import numpy as np
+    >>> edges = np.array([[0, 1], [1, 2], [3, 4], [4, 5], [2, 3]])
+    >>> report = MultilevelPartitioner(k=2, seed=7).partition(
+    ...     CSRGraph.from_edges(6, edges))
+    >>> bool(report.assignment[0] == report.assignment[1] == report.assignment[2])
+    True
+    >>> report.edge_cut
+    1
+    """
+
+    def __init__(
+        self,
+        k: int,
+        seed: int = 0,
+        balance_factor: float = 1.05,
+        refinement: bool = True,
+        refine_passes: int = 8,
+        trials: int = 4,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        self.k = k
+        self.seed = seed
+        self.balance_factor = balance_factor
+        #: Refinement can be disabled for the ablation bench.
+        self.refinement = refinement
+        self.refine_passes = refine_passes
+        #: Independent multistart runs; the best (cut, balance) wins.  METIS
+        #: does the same with its initial partitions; greedy growing +
+        #: local refinement alone is too seed-sensitive on small graphs.
+        self.trials = trials
+
+    def partition(self, graph: CSRGraph) -> PartitionReport:
+        """Best report over ``trials`` multistart runs (lowest edge cut
+        among the most-balanced candidates)."""
+        best: PartitionReport | None = None
+        for trial in range(self.trials):
+            seed = derive_seed(self.seed, "trial", trial) if trial else self.seed
+            report = self._partition_once(graph, seed)
+            if best is None or _better(report, best, self.balance_factor):
+                best = report
+        assert best is not None
+        return best
+
+    def _partition_once(self, graph: CSRGraph, seed: int) -> PartitionReport:
+        k = self.k
+        if k == 1 or graph.n <= k:
+            # Degenerate cases: everything in part 0, or one vertex per part.
+            if graph.n <= k:
+                assignment = np.arange(graph.n, dtype=np.int64) % k
+            else:
+                assignment = np.zeros(graph.n, dtype=np.int64)
+            return PartitionReport(
+                assignment=assignment,
+                k=k,
+                edge_cut=edge_cut(graph, assignment),
+                balance=balance(graph, assignment, k),
+                levels=0,
+            )
+
+        target_n = max(k * COARSEN_VERTICES_PER_PART, 2 * k)
+        levels = coarsen(graph, target_n, seed)
+        coarsest = levels[-1][0]
+
+        assignment = greedy_growing(coarsest, k, seed)
+        if self.refinement:
+            refine(
+                coarsest,
+                assignment,
+                k,
+                seed,
+                self.balance_factor,
+                self.refine_passes,
+            )
+
+        # Project back through the hierarchy (skip the identity sentinel).
+        for fine_graph, cmap in reversed(levels[:-1]):
+            assignment = assignment[cmap]
+            if self.refinement:
+                refine(
+                    fine_graph,
+                    assignment,
+                    k,
+                    seed,
+                    self.balance_factor,
+                    self.refine_passes,
+                )
+
+        return PartitionReport(
+            assignment=assignment,
+            k=k,
+            edge_cut=edge_cut(graph, assignment),
+            balance=balance(graph, assignment, k),
+            levels=len(levels) - 1,
+        )
+
+
+def _better(candidate: PartitionReport, incumbent: PartitionReport,
+            balance_factor: float) -> bool:
+    """Multistart selection: a feasible (within-balance) report beats an
+    infeasible one; among equals, the lower edge cut wins, with balance as
+    the tiebreak."""
+    cand_ok = candidate.balance <= balance_factor + 1e-9
+    inc_ok = incumbent.balance <= balance_factor + 1e-9
+    if cand_ok != inc_ok:
+        return cand_ok
+    if candidate.edge_cut != incumbent.edge_cut:
+        return candidate.edge_cut < incumbent.edge_cut
+    return candidate.balance < incumbent.balance
+
+
+def partition_graph(
+    num_vertices: int,
+    edges: np.ndarray,
+    k: int,
+    seed: int = 0,
+    edge_weights: np.ndarray | None = None,
+    vertex_weights: np.ndarray | None = None,
+    balance_factor: float = 1.05,
+    refinement: bool = True,
+) -> PartitionReport:
+    """One-call convenience over :class:`MultilevelPartitioner`.
+
+    ``edges`` is an (m, 2) array over vertex ids ``0..num_vertices-1``.
+    """
+    graph = CSRGraph.from_edges(
+        num_vertices, edges, edge_weights=edge_weights, vertex_weights=vertex_weights
+    )
+    return MultilevelPartitioner(
+        k=k, seed=seed, balance_factor=balance_factor, refinement=refinement
+    ).partition(graph)

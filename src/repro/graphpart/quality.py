@@ -1,0 +1,44 @@
+"""Partition quality metrics: edge cut and balance.
+
+These are the partitioner's own objective metrics (graph-level).  The
+paper's *reasoning-level* metrics — bal, IR, OR — live in
+:mod:`repro.partitioning.metrics`; tests relate the two (lower edge cut
+implies lower input replication, Section III-A-1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphpart.csr import CSRGraph
+
+
+def edge_cut(graph: CSRGraph, assignment: np.ndarray) -> int:
+    """Total weight of edges whose endpoints live in different parts.
+
+    >>> g = CSRGraph.from_edges(3, np.array([[0, 1], [1, 2]]))
+    >>> edge_cut(g, np.array([0, 0, 1]))
+    1
+    """
+    cut = 0
+    for u, v, w in graph.iter_edges():
+        if assignment[u] != assignment[v]:
+            cut += w
+    return cut
+
+
+def part_weights(graph: CSRGraph, assignment: np.ndarray, k: int) -> np.ndarray:
+    """Vertex-weight total per part."""
+    weights = np.zeros(k, dtype=np.int64)
+    np.add.at(weights, assignment, graph.vwgt)
+    return weights
+
+
+def balance(graph: CSRGraph, assignment: np.ndarray, k: int) -> float:
+    """Max part weight over ideal weight (1.0 is perfect; METIS reports the
+    same ratio as "load imbalance")."""
+    if graph.n == 0:
+        return 1.0
+    weights = part_weights(graph, assignment, k)
+    ideal = graph.total_vertex_weight() / k
+    return float(weights.max() / ideal) if ideal > 0 else 1.0

@@ -1,0 +1,46 @@
+"""OWL-Horst (pD*) reasoning on top of the datalog substrate.
+
+The pipeline mirrors the rule-based OWL toolchain the paper targets
+(Jena / OWLIM / Oracle):
+
+1. :mod:`repro.owl.rules_horst` — the OWL-Horst entailment rules (ter Horst
+   2005: the RDFS rules plus the ``rdfp`` OWL rules), expressed as
+   :class:`RuleTemplate` objects that mark which body atoms are
+   *schema-level*.
+2. :mod:`repro.owl.compiler` — "compiling the ontology into rules": the
+   TBox is saturated with the schema-level rules, then each template's
+   schema atoms are bound against the saturated TBox, leaving instance-level
+   residual rules.  The residuals are zero-join or single-join — the class
+   of rules the paper's data-partitioning argument needs — with the sameAs
+   propagation rule as the documented single exception.
+3. :class:`repro.owl.reasoner.HorstReasoner` — the materialization façade:
+   compile once, then materialize instance data forward (semi-naive) or
+   backward (Jena-style per-resource queries).
+"""
+
+from repro.owl.vocabulary import RDF, RDFS, OWL
+from repro.owl.rules_horst import (
+    RuleTemplate,
+    HORST_TEMPLATES,
+    SCHEMA_RULES,
+    horst_raw_rules,
+)
+from repro.owl.compiler import CompiledRuleSet, compile_ontology, saturate_schema
+from repro.owl.reasoner import HorstReasoner, split_schema
+from repro.owl.kb import MaterializedKB
+
+__all__ = [
+    "RDF",
+    "RDFS",
+    "OWL",
+    "RuleTemplate",
+    "HORST_TEMPLATES",
+    "SCHEMA_RULES",
+    "horst_raw_rules",
+    "CompiledRuleSet",
+    "compile_ontology",
+    "saturate_schema",
+    "HorstReasoner",
+    "split_schema",
+    "MaterializedKB",
+]

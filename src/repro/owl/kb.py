@@ -1,0 +1,191 @@
+"""Materialized knowledge base — the abstraction the paper's introduction
+motivates.
+
+"Knowledge bases which perform reasoning when data is loaded are called
+materialized knowledge bases ... suited for application domains where the
+frequency of data being added is much smaller than that of queries"
+(Section I).  :class:`MaterializedKB` is that object:
+
+* **load** — adding triples triggers incremental materialization: the
+  semi-naive engine resumes its fixpoint with the new triples as the delta,
+  so a small addition costs work proportional to its consequences, not to
+  the KB (the reason materialization suits write-rarely/read-often
+  workloads);
+* **query** — BGP queries and pattern matches run against the closed graph
+  with no reasoning on the read path;
+* **parallel load** — the initial bulk load can be delegated to the
+  paper's parallel reasoner, which is the entire point of the paper: cut
+  the one heavy materialization down with a cluster.
+
+Deletions are intentionally unsupported: OWL-Horst materialization is not
+incrementally retractable without truth maintenance (DRed et al.), which
+the paper does not touch; :meth:`MaterializedKB.rebuild` re-closes from the
+retained base triples instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Literal
+
+from repro.datalog.ast import Atom, Bindings
+from repro.datalog.engine import EngineStats, SemiNaiveEngine
+from repro.owl.compiler import CompiledRuleSet, compile_ontology
+from repro.rdf.graph import Graph
+from repro.rdf.query import BGPQuery
+from repro.rdf.terms import Term
+from repro.rdf.triple import Triple
+
+
+class MaterializedKB:
+    """An OWL-Horst knowledge base materialized at load time.
+
+    >>> from repro.rdf import Graph, URI
+    >>> from repro.owl.vocabulary import OWL, RDF
+    >>> tbox = Graph()
+    >>> _ = tbox.add_spo(URI("ex:partOf"), RDF.type, OWL.TransitiveProperty)
+    >>> kb = MaterializedKB(tbox)
+    >>> kb.add([Triple(URI("ex:a"), URI("ex:partOf"), URI("ex:b")),
+    ...         Triple(URI("ex:b"), URI("ex:partOf"), URI("ex:c"))])
+    2
+    >>> Triple(URI("ex:a"), URI("ex:partOf"), URI("ex:c")) in kb
+    True
+    >>> kb.add([Triple(URI("ex:c"), URI("ex:partOf"), URI("ex:d"))])
+    1
+    >>> kb.size  # closure of the 4-node chain a-b-c-d: C(4,2) pairs
+    6
+    """
+
+    def __init__(
+        self,
+        ontology: Graph,
+        include_sameas_propagation: bool | str = "auto",
+    ) -> None:
+        self.compiled: CompiledRuleSet = compile_ontology(
+            ontology, include_sameas_propagation=include_sameas_propagation
+        )
+        self._engine = SemiNaiveEngine(self.compiled.rules)
+        self._base = Graph()
+        self._closed = Graph()
+        self._stats = EngineStats()
+
+    # -- loading ----------------------------------------------------------------
+
+    def add(self, triples: Iterable[Triple]) -> int:
+        """Load triples and incrementally re-close.  Returns the number of
+        *base* triples that were new; consequences are materialized as a
+        side effect (see :attr:`last_load_stats` for their count)."""
+        fresh = [t for t in triples if self._base.add(t)]
+        if fresh:
+            result = self._engine.run(self._closed, delta=fresh)
+            self._stats.merge(result.stats)
+            self._last_load_stats = result.stats
+        else:
+            self._last_load_stats = EngineStats()
+        return len(fresh)
+
+    def bulk_load(
+        self,
+        graph: Graph,
+        parallel_k: int | None = None,
+        approach: Literal["data", "rule"] = "data",
+    ) -> None:
+        """Initial load of a whole graph.
+
+        ``parallel_k`` delegates materialization to the paper's
+        :class:`~repro.parallel.driver.ParallelReasoner`; the closed result
+        replaces this KB's contents (so call it on an empty KB — it raises
+        otherwise, instead of merging two closure histories).
+        """
+        if parallel_k is None:
+            self.add(iter(graph))
+            return
+        if len(self._base) > 0:
+            raise RuntimeError(
+                "parallel bulk_load only supports an empty KB; use add() "
+                "for incremental loads"
+            )
+        from repro.parallel.driver import ParallelReasoner
+
+        # Built from the saturated TBox, so the parallel reasoner compiles
+        # an identical rule set (saturation is idempotent).
+        reasoner = ParallelReasoner(self.compiled.schema, k=parallel_k,
+                                    approach=approach)
+        result = reasoner.materialize(graph)
+        self._base.update(iter(graph))
+        for t in result.graph:
+            if t not in reasoner.compiled.schema:
+                self._closed.add(t)
+        self._last_load_stats = EngineStats()
+
+    def rebuild(self) -> None:
+        """Re-close from the base triples (the deletion story: drop from
+        ``base_graph`` yourself, then rebuild)."""
+        self._closed = self._base.copy()
+        self._stats = EngineStats()
+        result = self._engine.run(self._closed)
+        self._stats.merge(result.stats)
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Triples in the closed KB (base + inferred)."""
+        return len(self._closed)
+
+    @property
+    def base_size(self) -> int:
+        return len(self._base)
+
+    @property
+    def inferred_size(self) -> int:
+        return len(self._closed) - len(self._base)
+
+    @property
+    def graph(self) -> Graph:
+        """The closed graph.  Treat as read-only; mutating it bypasses the
+        base-triple bookkeeping."""
+        return self._closed
+
+    @property
+    def base_graph(self) -> Graph:
+        return self._base
+
+    @property
+    def last_load_stats(self) -> EngineStats:
+        """Engine stats of the most recent :meth:`add`."""
+        return getattr(self, "_last_load_stats", EngineStats())
+
+    @property
+    def total_stats(self) -> EngineStats:
+        return self._stats
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._closed
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._closed)
+
+    def match(
+        self,
+        s: Term | None = None,
+        p: Term | None = None,
+        o: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Pattern match against the closed KB (no reasoning on read)."""
+        return self._closed.match(s, p, o)
+
+    def query(self, patterns: Iterable[Atom]) -> Iterator[Bindings]:
+        """Run a BGP query against the closed KB."""
+        return BGPQuery(list(patterns)).execute(self._closed)
+
+    def ask(self, patterns: Iterable[Atom]) -> bool:
+        return BGPQuery(list(patterns)).ask(self._closed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MaterializedKB base={self.base_size} "
+            f"inferred={self.inferred_size} rules={len(self.compiled.rules)}>"
+        )

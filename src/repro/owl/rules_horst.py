@@ -1,0 +1,188 @@
+"""The OWL-Horst (pD*) rule set as schema-annotated templates.
+
+Source: H. J. ter Horst, *Combining RDF and part of OWL with rules:
+semantics, decidability, complexity* (ISWC 2005) — reference [6] of the
+paper.  Rule names follow ter Horst's ``rdfs*`` / ``rdfp*`` numbering.
+
+Each :class:`RuleTemplate` wraps a datalog :class:`Rule` and marks which
+body atoms are **schema atoms** — atoms that the compiler binds against the
+(saturated) TBox at compile time, in the spirit of "the OWL ontology
+definitions are first compiled into a set of rules" (paper, Section I).
+After binding, every residual instance rule here is zero-join or
+single-join, with one exception the paper calls out: full sameAs
+propagation (rdfp11) has a 3-atom body.  The module exposes both the
+faithful rdfp11 and its standard single-join split (rdfp11a/rdfp11b), and
+the compiler chooses per the caller's partitioning needs.
+
+Omissions relative to ter Horst's full table, and why:
+
+* rdf1/rdfs4a/4b/6/8/10/12/13 (axiomatic typing: everything is a Resource,
+  every predicate is a Property, reflexive subClassOf/subPropertyOf) —
+  these inflate every KB with |nodes| bookkeeping triples while never
+  interacting with the partitioning questions the paper studies; OWLIM and
+  Jena's default OWL ruleset make the same cut ("partial RDFS").
+* rdfp5a/5b (everything is an owl:Thing) — same reason.
+* rdf2-D/rdfs1-D datatype rules — no typed-literal reasoning in any of the
+  paper's benchmarks.
+* owl:intersectionOf/unionOf list rules (rdfp17+ in some presentations) —
+  not part of ter Horst's pD* core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.ast import Atom, Rule
+from repro.owl.vocabulary import OWL, RDF, RDFS
+from repro.rdf.terms import Variable
+
+__all__ = ["RuleTemplate", "HORST_TEMPLATES", "SCHEMA_RULES", "horst_raw_rules"]
+
+
+@dataclass(frozen=True)
+class RuleTemplate:
+    """A Horst rule plus the indices of its schema-level body atoms."""
+
+    rule: Rule
+    schema_positions: tuple[int, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.rule.name
+
+    def instance_body(self) -> tuple[Atom, ...]:
+        """The non-schema body atoms, in body order."""
+        return tuple(
+            a
+            for i, a in enumerate(self.rule.body)
+            if i not in self.schema_positions
+        )
+
+
+# Shared variables for readability.
+_S, _P, _O, _Q, _R = (Variable(n) for n in ("s", "p", "o", "q", "r"))
+_C, _D, _E, _V = (Variable(n) for n in ("c", "d", "e", "v"))
+_X, _Y, _Z = (Variable(n) for n in ("x", "y", "z"))
+
+
+def _t(name: str, body: list[tuple], head: tuple, schema: tuple[int, ...] = ()) -> RuleTemplate:
+    rule = Rule(name, [Atom(*a) for a in body], Atom(*head))
+    return RuleTemplate(rule, schema)
+
+
+#: Instance-level templates: compiled against the TBox to yield the rule
+#: set each partition runs.  ``schema`` indices are 0-based body positions.
+HORST_TEMPLATES: tuple[RuleTemplate, ...] = (
+    # --- RDFS instance rules ------------------------------------------------
+    _t("rdfs2",
+       [(_P, RDFS.domain, _C), (_S, _P, _O)],
+       (_S, RDF.type, _C), schema=(0,)),
+    _t("rdfs3",
+       [(_P, RDFS.range, _C), (_S, _P, _O)],
+       (_O, RDF.type, _C), schema=(0,)),
+    _t("rdfs7",
+       [(_P, RDFS.subPropertyOf, _Q), (_S, _P, _O)],
+       (_S, _Q, _O), schema=(0,)),
+    _t("rdfs9",
+       [(_C, RDFS.subClassOf, _D), (_S, RDF.type, _C)],
+       (_S, RDF.type, _D), schema=(0,)),
+    # --- OWL property-characteristic rules ----------------------------------
+    _t("rdfp1",
+       [(_P, RDF.type, OWL.FunctionalProperty), (_S, _P, _X), (_S, _P, _Y)],
+       (_X, OWL.sameAs, _Y), schema=(0,)),
+    _t("rdfp2",
+       [(_P, RDF.type, OWL.InverseFunctionalProperty), (_X, _P, _O), (_Y, _P, _O)],
+       (_X, OWL.sameAs, _Y), schema=(0,)),
+    _t("rdfp3",
+       [(_P, RDF.type, OWL.SymmetricProperty), (_S, _P, _O)],
+       (_O, _P, _S), schema=(0,)),
+    _t("rdfp4",
+       [(_P, RDF.type, OWL.TransitiveProperty), (_S, _P, _O), (_O, _P, _V)],
+       (_S, _P, _V), schema=(0,)),
+    _t("rdfp8a",
+       [(_P, OWL.inverseOf, _Q), (_S, _P, _O)],
+       (_O, _Q, _S), schema=(0,)),
+    _t("rdfp8b",
+       [(_P, OWL.inverseOf, _Q), (_S, _Q, _O)],
+       (_O, _P, _S), schema=(0,)),
+    # --- sameAs equality theory ----------------------------------------------
+    _t("rdfp6", [(_X, OWL.sameAs, _Y)], (_Y, OWL.sameAs, _X)),
+    _t("rdfp7",
+       [(_X, OWL.sameAs, _Y), (_Y, OWL.sameAs, _Z)],
+       (_X, OWL.sameAs, _Z)),
+    # --- restriction rules ----------------------------------------------------
+    _t("rdfp14a",
+       [(_R, OWL.hasValue, _V), (_R, OWL.onProperty, _P), (_S, _P, _V)],
+       (_S, RDF.type, _R), schema=(0, 1)),
+    _t("rdfp14b",
+       [(_R, OWL.hasValue, _V), (_R, OWL.onProperty, _P), (_S, RDF.type, _R)],
+       (_S, _P, _V), schema=(0, 1)),
+    _t("rdfp15",
+       [(_R, OWL.someValuesFrom, _D), (_R, OWL.onProperty, _P),
+        (_S, _P, _O), (_O, RDF.type, _D)],
+       (_S, RDF.type, _R), schema=(0, 1)),
+    _t("rdfp16",
+       [(_R, OWL.allValuesFrom, _D), (_R, OWL.onProperty, _P),
+        (_S, RDF.type, _R), (_S, _P, _O)],
+       (_O, RDF.type, _D), schema=(0, 1)),
+)
+
+#: The faithful sameAs-propagation rule — the "all but one" exception of
+#: Section II: three body atoms, a multi-join.
+RDFP11 = _t("rdfp11",
+            [(_S, OWL.sameAs, _X), (_O, OWL.sameAs, _Y), (_S, _P, _O)],
+            (_X, _P, _Y))
+
+#: Standard single-join split of rdfp11.  Together with rdfp6/rdfp7 (sameAs
+#: symmetry/transitivity, which pD* includes anyway) the split computes the
+#: same closure as rdfp11: propagate subject-side and object-side equality
+#: separately, then compose.
+RDFP11_SPLIT = (
+    _t("rdfp11a", [(_S, OWL.sameAs, _X), (_S, _P, _O)], (_X, _P, _O)),
+    _t("rdfp11b", [(_O, OWL.sameAs, _Y), (_S, _P, _O)], (_S, _P, _Y)),
+)
+
+#: Schema-closure rules, run over the TBox alone during compilation
+#: ("saturate the schema"): class/property hierarchy transitivity and the
+#: equivalence <-> mutual-subsumption bridges.
+SCHEMA_RULES: tuple[Rule, ...] = tuple(
+    t.rule
+    for t in (
+        _t("rdfs5",
+           [(_P, RDFS.subPropertyOf, _Q), (_Q, RDFS.subPropertyOf, _R)],
+           (_P, RDFS.subPropertyOf, _R)),
+        _t("rdfs11",
+           [(_C, RDFS.subClassOf, _D), (_D, RDFS.subClassOf, _E)],
+           (_C, RDFS.subClassOf, _E)),
+        _t("rdfp12a", [(_C, OWL.equivalentClass, _D)], (_C, RDFS.subClassOf, _D)),
+        _t("rdfp12b", [(_C, OWL.equivalentClass, _D)], (_D, RDFS.subClassOf, _C)),
+        _t("rdfp12c",
+           [(_C, RDFS.subClassOf, _D), (_D, RDFS.subClassOf, _C)],
+           (_C, OWL.equivalentClass, _D)),
+        _t("rdfp13a", [(_P, OWL.equivalentProperty, _Q)], (_P, RDFS.subPropertyOf, _Q)),
+        _t("rdfp13b", [(_P, OWL.equivalentProperty, _Q)], (_Q, RDFS.subPropertyOf, _P)),
+        _t("rdfp13c",
+           [(_P, RDFS.subPropertyOf, _Q), (_Q, RDFS.subPropertyOf, _P)],
+           (_P, OWL.equivalentProperty, _Q)),
+        # Sub-property/sub-class knowledge propagates domain/range:
+        # inherited at schema level so instance rules see the closure.
+        _t("dom-sp",
+           [(_P, RDFS.subPropertyOf, _Q), (_Q, RDFS.domain, _C)],
+           (_P, RDFS.domain, _C)),
+        _t("range-sp",
+           [(_P, RDFS.subPropertyOf, _Q), (_Q, RDFS.range, _C)],
+           (_P, RDFS.range, _C)),
+    )
+)
+
+
+def horst_raw_rules(include_sameas_propagation: bool = True,
+                    split_sameas: bool = False) -> list[Rule]:
+    """The *uncompiled* Horst rule set as plain datalog rules (schema atoms
+    still in the bodies).  Used by tests, by the rule-partitioning path when
+    no ontology is supplied, and as documentation of the full set.
+    """
+    templates = list(HORST_TEMPLATES)
+    if include_sameas_propagation:
+        templates.extend(RDFP11_SPLIT if split_sameas else (RDFP11,))
+    return [t.rule for t in templates] + list(SCHEMA_RULES)

@@ -1,0 +1,53 @@
+"""OWL/RDFS vocabulary re-exports and schema-triple predicates.
+
+Centralizes the "is this triple schema or instance?" decision used by both
+the compiler (what to bind at compile time) and the data partitioner
+(Algorithm 1 step 1: remove schema tuples before building the graph).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespace import (
+    OWL,
+    RDF,
+    RDFS,
+    SCHEMA_PREDICATES,
+    SCHEMA_TYPE_OBJECTS,
+    XSD,
+)
+from repro.rdf.triple import Triple
+
+__all__ = [
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "SCHEMA_PREDICATES",
+    "SCHEMA_TYPE_OBJECTS",
+    "is_schema_triple",
+]
+
+
+def is_schema_triple(triple: Triple) -> bool:
+    """Whether a triple is schema-level (TBox) for OWL-Horst purposes.
+
+    A triple is schema when its predicate is an ontology-definition
+    predicate (rdfs:subClassOf, owl:inverseOf, ...), or it types a term as a
+    schema entity (owl:Class, owl:TransitiveProperty, ...), or its subject
+    sits in the RDF/RDFS/OWL namespaces (annotations on the vocabularies
+    themselves).
+
+    >>> from repro.rdf import URI
+    >>> is_schema_triple(Triple(URI("ex:Student"), RDFS.subClassOf, URI("ex:Person")))
+    True
+    >>> is_schema_triple(Triple(URI("ex:alice"), RDF.type, URI("ex:Student")))
+    False
+    """
+    if triple.p in SCHEMA_PREDICATES:
+        return True
+    if triple.p == RDF.type and triple.o in SCHEMA_TYPE_OBJECTS:
+        return True
+    s = triple.s
+    if s in RDF or s in RDFS or s in OWL:
+        return True
+    return False

@@ -1,0 +1,66 @@
+"""The parallel reasoning runtime — Algorithm 3 and its measurement rig.
+
+Layers, bottom up:
+
+* :mod:`repro.parallel.messages` — the tuple batches nodes exchange.
+* :mod:`repro.parallel.comm` — communication backends behind one MPI-ish
+  interface: in-memory mailboxes and the paper's shared-file scheme; both
+  account bytes and message counts for the cost models.
+* :mod:`repro.parallel.routing` — "send any newly generated tuples to
+  other processors as necessary": owner-table routing (data partitioning),
+  body-atom-match routing (rule partitioning), broadcast (ablation).
+* :mod:`repro.parallel.worker` — one partition's loop: local fixpoint,
+  route fresh tuples, ingest incoming tuples.
+* :mod:`repro.parallel.driver` — the synchronous-rounds master
+  (:class:`ParallelReasoner`): partition, scatter, iterate rounds to global
+  termination, aggregate.  Runs workers in-process.
+* :mod:`repro.parallel.costmodel` / :mod:`repro.parallel.simulated` — the
+  cluster *simulation*: per-partition reasoning is measured for real (wall
+  time + deterministic work units); IO/sync/aggregation are computed from
+  the measured message volumes through an explicit, configurable
+  :class:`CostModel` (file-IPC, MPI, shared-memory presets).  This is the
+  documented substitute for the paper's 16-node cluster (DESIGN.md §2).
+* :mod:`repro.parallel.mp_backend` — a real ``multiprocessing`` executor
+  for end-to-end correctness runs.
+"""
+
+from repro.parallel.messages import TupleBatch
+from repro.parallel.comm import CommBackend, FileComm, InMemoryComm
+from repro.parallel.routing import (
+    BroadcastRouter,
+    DataPartitionRouter,
+    Router,
+    RulePartitionRouter,
+)
+from repro.parallel.worker import PartitionWorker, RoundResult
+from repro.parallel.driver import ParallelReasoner, ParallelRunResult
+from repro.parallel.costmodel import CostModel
+from repro.parallel.simulated import SimulatedCluster, SimulatedRun
+from repro.parallel.stats import NodeRoundStats, RunStats
+from repro.parallel.hybrid import HybridParallelReasoner
+from repro.parallel.rebalance import RebalancingParallelReasoner
+from repro.parallel.query import DistributedQueryEngine, DistributedQueryStats
+
+__all__ = [
+    "TupleBatch",
+    "CommBackend",
+    "InMemoryComm",
+    "FileComm",
+    "Router",
+    "DataPartitionRouter",
+    "RulePartitionRouter",
+    "BroadcastRouter",
+    "PartitionWorker",
+    "RoundResult",
+    "ParallelReasoner",
+    "ParallelRunResult",
+    "CostModel",
+    "SimulatedCluster",
+    "SimulatedRun",
+    "NodeRoundStats",
+    "RunStats",
+    "HybridParallelReasoner",
+    "RebalancingParallelReasoner",
+    "DistributedQueryEngine",
+    "DistributedQueryStats",
+]

@@ -1,0 +1,146 @@
+"""Communication backends.
+
+Both backends implement the same minimal point-to-point interface —
+``send`` a :class:`TupleBatch`, ``recv_all`` pending batches for a node —
+the shape of the mpi4py ``send``/``recv`` object API, so a real MPI backend
+would drop in without touching the driver.
+
+* :class:`InMemoryComm` — per-node mailboxes (deques).  Used by the
+  in-process driver and the simulated cluster; accounts *would-be* payload
+  bytes per (sender, dest) pair for the cost models.
+* :class:`FileComm` — the paper's actual mechanism ("the inter-partition
+  communication is through the use of a shared file system"): each batch is
+  one N-Triples file in a spool directory, named so receivers can discover
+  their pending messages; files are deleted on receipt.  Accounts real
+  bytes written/read.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol
+
+from repro.parallel.messages import TupleBatch
+from repro.rdf.ntriples import parse_ntriples
+
+
+@dataclass
+class CommStats:
+    """Traffic accounting, aggregated per node pair and per node."""
+
+    messages: int = 0
+    tuples: int = 0
+    payload_bytes: int = 0
+    #: bytes sent, per sender node id
+    sent_bytes: dict[int, int] = field(default_factory=dict)
+    #: bytes received, per destination node id
+    received_bytes: dict[int, int] = field(default_factory=dict)
+
+    def record(self, batch: TupleBatch) -> None:
+        size = batch.payload_bytes()
+        self.messages += 1
+        self.tuples += len(batch)
+        self.payload_bytes += size
+        self.sent_bytes[batch.sender] = self.sent_bytes.get(batch.sender, 0) + size
+        self.received_bytes[batch.dest] = self.received_bytes.get(batch.dest, 0) + size
+
+
+class CommBackend(Protocol):
+    """Point-to-point tuple-batch transport."""
+
+    stats: CommStats
+
+    def send(self, batch: TupleBatch) -> None: ...
+
+    def recv_all(self, node_id: int) -> list[TupleBatch]: ...
+
+    def pending(self) -> int:
+        """Number of batches in transit (for termination detection)."""
+        ...
+
+
+class InMemoryComm:
+    """Mailbox transport for in-process runs.
+
+    >>> comm = InMemoryComm(k=2)
+    >>> comm.send(TupleBatch.make(0, 1, 0, []))
+    >>> len(comm.recv_all(1))
+    1
+    >>> comm.pending()
+    0
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._mailboxes: list[deque[TupleBatch]] = [deque() for _ in range(k)]
+        self.stats = CommStats()
+
+    def send(self, batch: TupleBatch) -> None:
+        if not 0 <= batch.dest < self.k:
+            raise ValueError(f"destination {batch.dest} outside [0, {self.k})")
+        self.stats.record(batch)
+        self._mailboxes[batch.dest].append(batch)
+
+    def recv_all(self, node_id: int) -> list[TupleBatch]:
+        box = self._mailboxes[node_id]
+        out = list(box)
+        box.clear()
+        return out
+
+    def pending(self) -> int:
+        return sum(len(box) for box in self._mailboxes)
+
+
+class FileComm:
+    """Shared-filesystem transport (the paper's mechanism).
+
+    Spool layout: ``<root>/r<round>_s<sender>_d<dest>_<seq>.nt``.  A batch
+    is visible once fully written (written to a ``.tmp`` name and renamed,
+    the usual atomic-publish idiom).  ``recv_all`` claims and deletes a
+    node's files in name order, so repeated delivery is impossible even
+    with concurrent receivers on a POSIX filesystem.
+    """
+
+    def __init__(self, k: int, root: str | os.PathLike) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CommStats()
+        self._seq = 0
+
+    def send(self, batch: TupleBatch) -> None:
+        if not 0 <= batch.dest < self.k:
+            raise ValueError(f"destination {batch.dest} outside [0, {self.k})")
+        self.stats.record(batch)
+        self._seq += 1
+        name = f"r{batch.round_no:06d}_s{batch.sender:04d}_d{batch.dest:04d}_{self._seq:08d}.nt"
+        tmp = self.root / (name + ".tmp")
+        tmp.write_text(batch.serialize(), encoding="utf-8")
+        tmp.rename(self.root / name)
+
+    def recv_all(self, node_id: int) -> list[TupleBatch]:
+        marker = f"_d{node_id:04d}_"
+        batches: list[TupleBatch] = []
+        for path in sorted(self.root.glob("*.nt")):
+            if marker not in path.name:
+                continue
+            text = path.read_text(encoding="utf-8")
+            parts = path.stem.split("_")
+            round_no = int(parts[0][1:])
+            sender = int(parts[1][1:])
+            triples = tuple(parse_ntriples(text))
+            batches.append(
+                TupleBatch(sender=sender, dest=node_id, round_no=round_no, triples=triples)
+            )
+            path.unlink()
+        return batches
+
+    def pending(self) -> int:
+        return sum(1 for _ in self.root.glob("*.nt"))

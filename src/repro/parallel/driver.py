@@ -1,0 +1,251 @@
+"""The synchronous-rounds master — Algorithm 3.
+
+:class:`ParallelReasoner` is the public entry point of the whole library:
+give it an ontology, pick a partitioning approach and policy, and call
+``materialize``.  It
+
+1. compiles the ontology into instance rules,
+2. partitions the data (Algorithm 1) or the rule base (Algorithm 2),
+3. builds one :class:`PartitionWorker` per node with the matching router,
+4. iterates synchronous rounds until no node produced cross-partition
+   tuples and nothing is in transit (the paper's termination condition),
+5. aggregates the union of the nodes' outputs.
+
+Workers execute *in-process* (sequentially).  That is deliberate: it makes
+every per-node measurement exact and deterministic, and the simulated
+cluster (:mod:`repro.parallel.simulated`) reconstructs the parallel
+timeline from those measurements.  For a real-multiple-process run, see
+:mod:`repro.parallel.mp_backend`.
+
+"Note that the master node itself has no role to play once the initial
+partition is done" (Section IV) — accordingly, everything after
+partitioning is per-node work plus the final aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.datalog.analysis import check_data_partitionable, predicate_counts
+from repro.datalog.ast import Rule
+from repro.owl.compiler import CompiledRuleSet, compile_ontology
+from repro.owl.reasoner import split_schema
+from repro.parallel.comm import CommBackend, InMemoryComm
+from repro.parallel.messages import TupleBatch
+from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
+from repro.parallel.stats import NodeRoundStats, RunStats
+from repro.parallel.worker import PartitionWorker, RoundResult, Strategy
+from repro.partitioning.base import DataPartitioningResult, RulePartitioningResult
+from repro.partitioning.data_generic import partition_data
+from repro.partitioning.policies import GraphPartitioningPolicy, PartitioningPolicy
+from repro.partitioning.rulepart import partition_rules
+from repro.rdf.graph import Graph
+from repro.util.timing import Stopwatch
+
+Approach = Literal["data", "rule"]
+
+
+@dataclass
+class ParallelRunResult:
+    """Everything a run produces: the materialized KB, the paper's metrics
+    inputs, and the raw per-round measurements."""
+
+    graph: Graph
+    stats: RunStats
+    approach: Approach
+    #: Per-node final output graphs (for the OR metric).
+    node_outputs: list[Graph] = field(default_factory=list)
+    data_partitioning: DataPartitioningResult | None = None
+    rule_partitioning: RulePartitioningResult | None = None
+
+    @property
+    def k(self) -> int:
+        return self.stats.k
+
+
+class ParallelReasoner:
+    """Parallel OWL-Horst materializer (the paper's full system).
+
+    >>> from repro.rdf import Graph, URI, Triple
+    >>> from repro.owl.vocabulary import RDF, RDFS
+    >>> tbox = Graph([Triple(URI("ex:Student"), RDFS.subClassOf, URI("ex:Person"))])
+    >>> data = Graph([Triple(URI("ex:alice"), RDF.type, URI("ex:Student"))])
+    >>> pr = ParallelReasoner(tbox, k=2)
+    >>> result = pr.materialize(data)
+    >>> Triple(URI("ex:alice"), RDF.type, URI("ex:Person")) in result.graph
+    True
+    """
+
+    def __init__(
+        self,
+        ontology: Graph,
+        k: int,
+        approach: Approach = "data",
+        policy: PartitioningPolicy | None = None,
+        strategy: Strategy = "forward",
+        comm: CommBackend | None = None,
+        weight_rule_edges: bool = True,
+        max_rounds: int = 10_000,
+        seed: int = 0,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if approach not in ("data", "rule"):
+            raise ValueError(f"unknown approach {approach!r}")
+        self.k = k
+        self.approach: Approach = approach
+        # Data partitioning demands single-join rules; the compiler's sameAs
+        # split provides them.  Rule partitioning has no such constraint, so
+        # it runs the faithful rdfp11.
+        self.compiled: CompiledRuleSet = compile_ontology(
+            ontology, split_sameas=(approach == "data")
+        )
+        if approach == "data":
+            check_data_partitionable(self.compiled.rules)
+        self.policy = policy or GraphPartitioningPolicy(seed=seed)
+        self.strategy: Strategy = strategy
+        self.comm: CommBackend = comm if comm is not None else InMemoryComm(k)
+        self.weight_rule_edges = weight_rule_edges
+        self.max_rounds = max_rounds
+        self.seed = seed
+
+    # -- the run ---------------------------------------------------------------
+
+    def materialize(self, graph: Graph) -> ParallelRunResult:
+        """Materialize a KB (mixed schema+instance or instance-only).
+        The input graph is not mutated."""
+        schema, instance = split_schema(graph)
+
+        stats = RunStats(k=self.k)
+        data_result: DataPartitioningResult | None = None
+        rule_result: RulePartitioningResult | None = None
+
+        watch = Stopwatch()
+        if self.approach == "data":
+            # Vocabulary = class URIs in the data plus every TBox resource:
+            # inference can type instances with classes (e.g. restriction
+            # classes) that never appear in the base data, and those must
+            # not become routing targets either.
+            from repro.partitioning.data_generic import default_vocabulary
+
+            vocabulary = default_vocabulary(instance)
+            vocabulary |= self.compiled.schema.resources()
+            data_result = partition_data(instance, self.policy, self.k,
+                                         strip_schema=False,
+                                         vocabulary=vocabulary)
+            router: Router = DataPartitionRouter(
+                data_result.owner, vocabulary=frozenset(vocabulary)
+            )
+            workers = [
+                PartitionWorker(
+                    node_id=i,
+                    base=data_result.partitions[i],
+                    rules=self.compiled.rules,
+                    router=router,
+                    strategy=self.strategy,
+                )
+                for i in range(self.k)
+            ]
+        else:
+            from repro.partitioning.rulepart import graph_workload_estimator
+
+            pred_stats = predicate_counts(instance) if self.weight_rule_edges else None
+            rule_result = partition_rules(
+                self.compiled.rules, self.k,
+                predicate_stats=pred_stats,
+                workload_estimator=(
+                    graph_workload_estimator(instance)
+                    if self.weight_rule_edges
+                    else None
+                ),
+                seed=self.seed,
+            )
+            router = RulePartitionRouter(rule_result.rule_sets)
+            workers = [
+                PartitionWorker(
+                    node_id=i,
+                    base=instance,  # every node gets the full data set
+                    rules=rule_result.rule_sets[i],
+                    router=router,
+                    strategy=self.strategy,
+                )
+                for i in range(self.k)
+            ]
+        stats.partition_time = watch.elapsed()
+
+        # --- rounds (BSP) ---
+        round_results = [w.bootstrap() for w in workers]
+        self._record_round(stats, round_results)
+        self._dispatch(round_results)
+
+        for _ in range(self.max_rounds):
+            if self.comm.pending() == 0:
+                break
+            round_results = [w.step(self.comm.recv_all(w.node_id)) for w in workers]
+            self._record_round(stats, round_results)
+            self._dispatch(round_results)
+        else:
+            raise RuntimeError(
+                f"no termination after {self.max_rounds} rounds — "
+                "routing is likely re-sending tuples in a cycle"
+            )
+
+        # --- aggregation ---
+        agg_watch = Stopwatch()
+        union = Graph()
+        node_outputs = []
+        for w in workers:
+            out = w.output_graph()
+            node_outputs.append(out)
+            union.update(iter(out))
+        union.update(iter(schema))
+        union.update(iter(self.compiled.schema))
+        stats.aggregation_time = agg_watch.elapsed()
+
+        return ParallelRunResult(
+            graph=union,
+            stats=stats,
+            approach=self.approach,
+            node_outputs=node_outputs,
+            data_partitioning=data_result,
+            rule_partitioning=rule_result,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _dispatch(self, round_results: Sequence[RoundResult]) -> None:
+        for result in round_results:
+            for batch in result.outgoing:
+                self.comm.send(batch)
+
+    def _record_round(self, stats: RunStats, round_results: Sequence[RoundResult]) -> None:
+        entries = []
+        for r in round_results:
+            sent_bytes = sum(b.payload_bytes() for b in r.outgoing)
+            entries.append(
+                NodeRoundStats(
+                    node_id=r.node_id,
+                    round_no=r.round_no,
+                    reasoning_time=r.reasoning_time,
+                    work=r.work,
+                    derived=r.derived,
+                    received_tuples=r.received,
+                    sent_tuples=r.sent_tuples,
+                    sent_bytes=sent_bytes,
+                    received_bytes=0,  # filled below
+                    sent_messages=len(r.outgoing),
+                )
+            )
+        # Received bytes for round n are the bytes of batches consumed at
+        # the start of round n — i.e. the previous round's outgoing traffic,
+        # reconstructed from the sender side (exact: same process).
+        previous: list[RoundResult] = getattr(self, "_last_outgoing", [])
+        by_dest: dict[int, int] = {}
+        for r in previous:
+            for batch in r.outgoing:
+                by_dest[batch.dest] = by_dest.get(batch.dest, 0) + batch.payload_bytes()
+        for entry in entries:
+            entry.received_bytes = by_dest.get(entry.node_id, 0)
+        stats.rounds.append(entries)
+        self._last_outgoing = list(round_results)

@@ -1,0 +1,42 @@
+"""Inter-partition message types.
+
+One message kind suffices for Algorithm 3: a batch of fresh tuples from one
+node to another, tagged with the sender's round.  Size accounting uses the
+N-Triples serialization length — the actual on-the-wire format of the file
+backend, and a fair proxy for any text-based IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.rdf.ntriples import triple_to_ntriples
+from repro.rdf.triple import Triple
+
+
+@dataclass(frozen=True)
+class TupleBatch:
+    """A batch of tuples in flight from ``sender`` to ``dest``."""
+
+    sender: int
+    dest: int
+    round_no: int
+    triples: tuple[Triple, ...]
+
+    @classmethod
+    def make(
+        cls, sender: int, dest: int, round_no: int, triples: Sequence[Triple]
+    ) -> "TupleBatch":
+        return cls(sender=sender, dest=dest, round_no=round_no, triples=tuple(triples))
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def payload_bytes(self) -> int:
+        """Serialized size (N-Triples, one line per tuple, newline
+        included) — the unit every cost model consumes."""
+        return sum(len(triple_to_ntriples(t)) + 1 for t in self.triples)
+
+    def serialize(self) -> str:
+        return "".join(triple_to_ntriples(t) + "\n" for t in self.triples)

@@ -1,0 +1,155 @@
+"""Real multi-process execution of Algorithm 3.
+
+The simulated cluster is the measurement vehicle; this backend is the
+proof that the same worker/router/termination logic runs correctly with
+*actual* process isolation and message passing.  One OS process per
+partition, connected by ``multiprocessing`` queues; the parent acts as the
+paper's master: it scatters partitions, relays batches (a stand-in for the
+shared filesystem), detects global termination, and gathers outputs.
+
+The communication pattern mirrors mpi4py's object API (``send``/``recv`` of
+picklable payloads); terms re-intern on unpickling via their ``__reduce__``
+hooks, so graphs survive the process boundary intact.
+
+This is a correctness backend, not a performance one: on the CI container
+there is a single core, and pickling graphs costs more than reasoning over
+them at test sizes.  Keep inputs small.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datalog.ast import Rule
+from repro.parallel.messages import TupleBatch
+from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
+from repro.parallel.worker import PartitionWorker
+from repro.rdf.graph import Graph
+from repro.rdf.triple import Triple
+
+
+@dataclass
+class _NodeConfig:
+    """Everything one worker process needs (picklable)."""
+
+    node_id: int
+    base_triples: list[Triple]
+    rules: list[Rule]
+    router_kind: str  # "data" | "rule"
+    owner_table: dict | None
+    owner_k: int
+    rule_sets: list[list[Rule]] | None
+
+
+def _make_router(cfg: _NodeConfig) -> Router:
+    if cfg.router_kind == "data":
+        from repro.partitioning.base import TableOwner
+
+        return DataPartitionRouter(TableOwner(cfg.owner_k, cfg.owner_table or {}))
+    return RulePartitionRouter(cfg.rule_sets or [])
+
+
+def _worker_main(cfg: _NodeConfig, inbox: mp.Queue, outbox: mp.Queue) -> None:
+    """Worker process loop.
+
+    Protocol (all via queues, driven by the parent):
+      parent -> worker: ("round", [TupleBatch...]) | ("finish",)
+      worker -> parent: ("produced", node_id, [TupleBatch...])
+                        | ("output", node_id, [Triple...])
+    The first round is triggered by an empty batch list.
+    """
+    base = Graph(cfg.base_triples)
+    worker = PartitionWorker(
+        node_id=cfg.node_id,
+        base=base,
+        rules=cfg.rules,
+        router=_make_router(cfg),
+    )
+    first = True
+    while True:
+        msg = inbox.get()
+        kind = msg[0]
+        if kind == "finish":
+            outbox.put(("output", cfg.node_id, list(worker.output_graph())))
+            return
+        assert kind == "round"
+        batches: list[TupleBatch] = msg[1]
+        result = worker.bootstrap() if first else worker.step(batches)
+        first = False
+        outbox.put(("produced", cfg.node_id, result.outgoing))
+
+
+def run_multiprocess(
+    partitions: Sequence[Graph],
+    rules_per_node: Sequence[Sequence[Rule]],
+    router_kind: str,
+    owner_table: dict | None = None,
+    rule_sets: Sequence[Sequence[Rule]] | None = None,
+    max_rounds: int = 1000,
+    start_method: str = "fork",
+) -> Graph:
+    """Execute Algorithm 3 across real processes; returns the unioned KB.
+
+    ``partitions[i]`` and ``rules_per_node[i]`` configure node i.  For
+    ``router_kind="data"`` pass the ``owner_table`` (term -> partition);
+    for ``"rule"`` pass the ``rule_sets`` used for body-atom routing.
+    """
+    k = len(partitions)
+    if len(rules_per_node) != k:
+        raise ValueError("rules_per_node must match partitions")
+    ctx = mp.get_context(start_method)
+    inboxes = [ctx.Queue() for _ in range(k)]
+    outbox = ctx.Queue()
+
+    processes = []
+    for i in range(k):
+        cfg = _NodeConfig(
+            node_id=i,
+            base_triples=list(partitions[i]),
+            rules=list(rules_per_node[i]),
+            router_kind=router_kind,
+            owner_table=dict(owner_table) if owner_table else None,
+            owner_k=k,
+            rule_sets=[list(rs) for rs in rule_sets] if rule_sets else None,
+        )
+        proc = ctx.Process(target=_worker_main, args=(cfg, inboxes[i], outbox))
+        proc.start()
+        processes.append(proc)
+
+    try:
+        pending: list[TupleBatch] = []
+        for i in range(k):
+            inboxes[i].put(("round", []))
+        for round_no in range(max_rounds):
+            produced: list[TupleBatch] = []
+            for _ in range(k):
+                kind, node_id, batches = outbox.get()
+                assert kind == "produced"
+                produced.extend(batches)
+            if not produced:
+                break
+            # Relay: group batches by destination, start the next round.
+            by_dest: dict[int, list[TupleBatch]] = {i: [] for i in range(k)}
+            for batch in produced:
+                by_dest[batch.dest].append(batch)
+            for i in range(k):
+                inboxes[i].put(("round", by_dest[i]))
+        else:
+            raise RuntimeError(f"no termination after {max_rounds} rounds")
+
+        union = Graph()
+        for i in range(k):
+            inboxes[i].put(("finish",))
+        for _ in range(k):
+            kind, node_id, triples = outbox.get()
+            assert kind == "output"
+            union.update(triples)
+        return union
+    finally:
+        for proc in processes:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

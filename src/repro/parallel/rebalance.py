@@ -1,0 +1,292 @@
+"""Dynamic load balancing — the paper's closing suggestion.
+
+The paper uses static balancing and notes the alternative: "in dynamic
+load-balancing system[s] like [Wolfson & Ozeri; Dewan et al.] the system
+reallocates workloads, if the initial partitioning scheme did not provide
+a balanced partition" (Section VII), and the conclusions sketch hybrid
+dynamics ("the data-set is initially partitioned and during later rounds
+rule-sets are partitioned for load balancing").
+
+:class:`RebalancingParallelReasoner` implements the data-reduction flavour
+of dynamic rebalancing on top of the Algorithm 3 runtime:
+
+1. run a round; measure each node's reasoning work (the same counters the
+   simulated cluster uses);
+2. if ``max_work / mean_work`` exceeds ``imbalance_threshold``, *migrate
+   ownership*: a slice of the heaviest node's resources is reassigned to
+   the lightest node in the shared owner table, and the donor ships every
+   tuple involving those resources to the receiver;
+3. subsequent routing consults the updated table, so the placement
+   invariant (every tuple reaches its endpoints' owners) is maintained and
+   the closure stays exact.
+
+Migration copies rather than moves (the donor keeps its tuples): stale
+copies can only duplicate derivations, which aggregation de-duplicates;
+deleting would risk dropping tuples the donor still owns through the other
+endpoint.  The cost is memory — the usual dynamic-balancing trade.
+
+Rebalancing only pays off for workloads whose later rounds carry real work
+(long cross-partition derivation chains); for one-shot fixpoints the
+bootstrap dominates and no reallocation can help, which is exactly why the
+paper's static scheme "works quite well" for its benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.owl.compiler import CompiledRuleSet, compile_ontology
+from repro.owl.reasoner import split_schema
+from repro.parallel.comm import CommBackend, InMemoryComm
+from repro.parallel.messages import TupleBatch
+from repro.parallel.routing import DataPartitionRouter
+from repro.parallel.stats import NodeRoundStats, RunStats
+from repro.parallel.worker import PartitionWorker, RoundResult
+from repro.partitioning.base import TableOwner
+from repro.partitioning.data_generic import default_vocabulary, partition_data
+from repro.partitioning.policies import (
+    GraphPartitioningPolicy,
+    PartitioningPolicy,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class Migration:
+    """One ownership transfer decided by the rebalancer."""
+
+    round_no: int
+    donor: int
+    receiver: int
+    resources: list[Term]
+    tuples_shipped: int
+
+
+@dataclass
+class RebalancingRunResult:
+    """Run result plus the migration log."""
+
+    graph: Graph
+    stats: RunStats
+    node_outputs: list[Graph] = field(default_factory=list)
+    migrations: list[Migration] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        return self.stats.k
+
+
+class RebalancingParallelReasoner:
+    """Data-partitioned parallel materializer with ownership migration.
+
+    Parameters mirror :class:`~repro.parallel.driver.ParallelReasoner`,
+    plus:
+
+    imbalance_threshold:
+        Rebalance when (max node work) / (mean node work) in a round
+        exceeds this (default 1.5).
+    migration_fraction:
+        Fraction of the donor's owned resources to move per migration
+        (default 0.25).
+    """
+
+    def __init__(
+        self,
+        ontology: Graph,
+        k: int,
+        policy: PartitioningPolicy | None = None,
+        comm: CommBackend | None = None,
+        imbalance_threshold: float = 1.5,
+        migration_fraction: float = 0.25,
+        max_rounds: int = 10_000,
+        seed: int = 0,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if imbalance_threshold < 1.0:
+            raise ValueError("imbalance_threshold must be >= 1.0")
+        if not 0.0 < migration_fraction <= 1.0:
+            raise ValueError("migration_fraction must be in (0, 1]")
+        self.k = k
+        self.compiled: CompiledRuleSet = compile_ontology(ontology, split_sameas=True)
+        self.policy = policy or GraphPartitioningPolicy(seed=seed)
+        self.comm: CommBackend = comm if comm is not None else InMemoryComm(k)
+        self.imbalance_threshold = imbalance_threshold
+        self.migration_fraction = migration_fraction
+        self.max_rounds = max_rounds
+        self.seed = seed
+
+    # -- run ---------------------------------------------------------------------
+
+    def materialize(self, graph: Graph) -> RebalancingRunResult:
+        schema, instance = split_schema(graph)
+        stats = RunStats(k=self.k)
+        migrations: list[Migration] = []
+
+        watch = Stopwatch()
+        vocabulary = default_vocabulary(instance)
+        vocabulary |= self.compiled.schema.resources()
+        data_result = partition_data(
+            instance, self.policy, self.k,
+            strip_schema=False, vocabulary=vocabulary,
+        )
+        owner = data_result.owner
+        if not isinstance(owner, TableOwner):
+            # Migration rewrites table entries; wrap hash-style owners in
+            # an (initially empty) table so reassignments stick.
+            owner = TableOwner(self.k, {
+                r: data_result.owner(r)
+                for p in data_result.partitions
+                for r in p.resources()
+                if r not in vocabulary
+            })
+        router = DataPartitionRouter(owner, vocabulary=frozenset(vocabulary))
+        workers = [
+            PartitionWorker(
+                node_id=i,
+                base=data_result.partitions[i],
+                rules=self.compiled.rules,
+                router=router,
+                forward_received=True,  # ownership moves; see worker docs
+            )
+            for i in range(self.k)
+        ]
+        stats.partition_time = watch.elapsed()
+
+        round_results = [w.bootstrap() for w in workers]
+        self._record(stats, round_results)
+        self._dispatch(round_results)
+        migrations.extend(
+            self._maybe_migrate(workers, owner, vocabulary, round_results, 0)
+        )
+
+        for round_no in range(1, self.max_rounds + 1):
+            if self.comm.pending() == 0:
+                break
+            round_results = [
+                w.step(self.comm.recv_all(w.node_id)) for w in workers
+            ]
+            self._record(stats, round_results)
+            self._dispatch(round_results)
+            migrations.extend(
+                self._maybe_migrate(
+                    workers, owner, vocabulary, round_results, round_no
+                )
+            )
+        else:
+            raise RuntimeError(f"no termination after {self.max_rounds} rounds")
+
+        agg = Stopwatch()
+        union = Graph()
+        node_outputs = []
+        for w in workers:
+            out = w.output_graph()
+            node_outputs.append(out)
+            union.update(iter(out))
+        union.update(iter(schema))
+        union.update(iter(self.compiled.schema))
+        stats.aggregation_time = agg.elapsed()
+
+        return RebalancingRunResult(
+            graph=union,
+            stats=stats,
+            node_outputs=node_outputs,
+            migrations=migrations,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _dispatch(self, round_results: Sequence[RoundResult]) -> None:
+        for result in round_results:
+            for batch in result.outgoing:
+                self.comm.send(batch)
+
+    def _record(self, stats: RunStats, round_results: Sequence[RoundResult]) -> None:
+        previous = getattr(self, "_last_outgoing", [])
+        by_dest: dict[int, int] = {}
+        for r in previous:
+            for batch in r.outgoing:
+                by_dest[batch.dest] = by_dest.get(batch.dest, 0) + batch.payload_bytes()
+        entries = []
+        for r in round_results:
+            entries.append(
+                NodeRoundStats(
+                    node_id=r.node_id,
+                    round_no=r.round_no,
+                    reasoning_time=r.reasoning_time,
+                    work=r.work,
+                    derived=r.derived,
+                    received_tuples=r.received,
+                    sent_tuples=r.sent_tuples,
+                    sent_bytes=sum(b.payload_bytes() for b in r.outgoing),
+                    received_bytes=by_dest.get(r.node_id, 0),
+                    sent_messages=len(r.outgoing),
+                )
+            )
+        stats.rounds.append(entries)
+        self._last_outgoing = list(round_results)
+
+    def _maybe_migrate(
+        self,
+        workers: list[PartitionWorker],
+        owner: TableOwner,
+        vocabulary: set[Term],
+        round_results: Sequence[RoundResult],
+        round_no: int,
+    ) -> list[Migration]:
+        # There is nothing left to balance once the system is quiescing.
+        if self.comm.pending() == 0:
+            return []
+        works = [r.work for r in round_results]
+        total = sum(works)
+        if total == 0:
+            return []
+        mean = total / self.k
+        heaviest = max(range(self.k), key=works.__getitem__)
+        lightest = min(range(self.k), key=works.__getitem__)
+        if works[heaviest] <= self.imbalance_threshold * max(mean, 1):
+            return []
+        if heaviest == lightest:
+            return []
+
+        donor = workers[heaviest]
+        donor_resources = sorted(
+            r
+            for r in donor.graph.resources()
+            if r not in vocabulary and owner(r) == heaviest
+        )
+        if not donor_resources:
+            return []
+        count = max(1, int(len(donor_resources) * self.migration_fraction))
+        moving = donor_resources[:count]
+
+        # Reassign ownership, then ship every tuple touching the moved
+        # resources so the receiver satisfies the placement invariant.
+        shipped: list = []
+        seen: set = set()
+        for resource in moving:
+            owner.table[resource] = lightest
+            for t in donor.graph.match(s=resource):
+                if t not in seen:
+                    seen.add(t)
+                    shipped.append(t)
+            for t in donor.graph.match(o=resource):
+                if t not in seen:
+                    seen.add(t)
+                    shipped.append(t)
+        if shipped:
+            self.comm.send(
+                TupleBatch.make(heaviest, lightest, round_no, shipped)
+            )
+        return [
+            Migration(
+                round_no=round_no,
+                donor=heaviest,
+                receiver=lightest,
+                resources=list(moving),
+                tuples_shipped=len(shipped),
+            )
+        ]

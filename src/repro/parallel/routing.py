@@ -1,0 +1,119 @@
+"""Tuple routing — "send any of the newly generated tuples to other
+processors as necessary" (Algorithm 3, line 4).
+
+The routing rule depends on the partitioning family (Section IV):
+
+* **Data partitioning** — consult the owner table: a fresh tuple goes to
+  the owner of its subject and the owner of its object (they are where any
+  future join partner lives).
+* **Rule partitioning** — match the fresh tuple against the body sub-goals
+  of every *other* partition's rules; send wherever it could fire
+  something.
+* **Broadcast** — send everything everywhere; the ablation baseline that
+  shows why routing matters.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.datalog.ast import Atom, Rule
+from repro.partitioning.base import OwnerFunction
+from repro.rdf.terms import is_resource
+from repro.rdf.triple import Triple
+
+
+class Router(Protocol):
+    """Destination selector for freshly derived tuples."""
+
+    k: int
+
+    def destinations(self, node_id: int, triple: Triple) -> list[int]:
+        """Partition ids (excluding ``node_id``) that must receive
+        ``triple``."""
+        ...
+
+
+class DataPartitionRouter:
+    """Owner-table routing for the data-partitioning approach.
+
+    A derived tuple is needed wherever tuples sharing its subject or object
+    resource are collected — exactly the owner partitions of those two
+    resources (Algorithm 1's placement invariant, maintained dynamically).
+    ``vocabulary`` terms (class URIs) are never owned, mirroring the
+    placement rule of :func:`repro.partitioning.data_generic.partition_data`.
+    """
+
+    def __init__(self, owner: OwnerFunction, vocabulary: frozenset = frozenset()) -> None:
+        self.owner = owner
+        self.k = owner.k
+        self.vocabulary = vocabulary
+
+    def destinations(self, node_id: int, triple: Triple) -> list[int]:
+        dests = {self.owner(triple.s)}
+        if is_resource(triple.o) and triple.o not in self.vocabulary:
+            dests.add(self.owner(triple.o))
+        dests.discard(node_id)
+        return sorted(dests)
+
+
+class RulePartitionRouter:
+    """Body-atom-match routing for the rule-partitioning approach.
+
+    "We match the newly generated [tuple] with all the rules of other
+    partitions to determine if it can trigger any of them.  The tuple is
+    sent to all [partitions] in which it can be used." (Section IV.)
+
+    Matching is pattern unification against each partition's body atoms,
+    pre-bucketed by ground predicate so the common case is two dict probes
+    per partition rather than a scan of every rule.
+    """
+
+    def __init__(self, rule_sets: Sequence[Sequence[Rule]]) -> None:
+        self.k = len(rule_sets)
+        # Per partition: body atoms bucketed by ground predicate, plus the
+        # atoms whose predicate position is a variable (match anything).
+        self._by_predicate: list[dict[object, list[Atom]]] = []
+        self._wildcard: list[list[Atom]] = []
+        for rules in rule_sets:
+            buckets: dict[object, list[Atom]] = {}
+            wild: list[Atom] = []
+            for rule in rules:
+                for atom in rule.body:
+                    if atom.p.is_variable:
+                        wild.append(atom)
+                    else:
+                        buckets.setdefault(atom.p, []).append(atom)
+            self._by_predicate.append(buckets)
+            self._wildcard.append(wild)
+
+    def destinations(self, node_id: int, triple: Triple) -> list[int]:
+        dests: list[int] = []
+        for pid in range(self.k):
+            if pid == node_id:
+                continue
+            if self._matches_partition(pid, triple):
+                dests.append(pid)
+        return dests
+
+    def _matches_partition(self, pid: int, triple: Triple) -> bool:
+        for atom in self._by_predicate[pid].get(triple.p, ()):
+            if atom.match_triple(triple) is not None:
+                return True
+        for atom in self._wildcard[pid]:
+            if atom.match_triple(triple) is not None:
+                return True
+        return False
+
+
+class BroadcastRouter:
+    """Send every fresh tuple to every other partition (ablation baseline:
+    always correct, maximally wasteful)."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def destinations(self, node_id: int, triple: Triple) -> list[int]:
+        return [pid for pid in range(self.k) if pid != node_id]

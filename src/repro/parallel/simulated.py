@@ -1,0 +1,176 @@
+"""The simulated cluster — measurement-driven reconstruction of the
+paper's parallel timelines on a single core.
+
+What is measured vs modeled (the substitution documented in DESIGN.md §2):
+
+===============================  ==========================================
+quantity                         source
+===============================  ==========================================
+per-node per-round reasoning     **measured** (wall time of the actual
+                                 reasoner on the actual partition) and
+                                 deterministic work units alongside
+bytes / messages per node pair   **measured** (N-Triples payload sizes)
+IO seconds                       modeled: :class:`CostModel` over measured
+                                 traffic
+sync seconds                     computed: BSP barrier — a node waits for
+                                 the slowest node+IO of the round
+aggregation seconds              measured union time + modeled read of the
+                                 outputs
+===============================  ==========================================
+
+Timeline reconstruction (synchronous mode, the paper's implementation)::
+
+    round_time(r)  = max_i [ reason(r, i) + io(r, i) ]
+    makespan       = Σ_r round_time(r) + aggregation
+    sync(i)        = Σ_r [ round_time(r) − reason(r, i) − io(r, i) ]
+
+Asynchronous mode models Section VI-B's proposed improvement ("start
+immediately using all the currently received tuples"): no barrier, each
+node's finish time is its own busy time, makespan is the slowest node.
+This is optimistic (it assumes tuples would have arrived in the same
+rounds), which is exactly the bound the paper argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.parallel.costmodel import CostModel
+from repro.parallel.driver import ParallelReasoner, ParallelRunResult
+from repro.parallel.stats import RunStats
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import triple_to_ntriples
+
+
+@dataclass
+class OverheadBreakdown:
+    """Fig 2's four series — maxima over partitions, as the paper plots."""
+
+    reasoning: float
+    io: float
+    sync: float
+    aggregation: float
+
+    @property
+    def total(self) -> float:
+        return self.reasoning + self.io + self.sync + self.aggregation
+
+
+@dataclass
+class SimulatedRun:
+    """A parallel run plus its reconstructed cluster timeline."""
+
+    result: ParallelRunResult
+    cost_model: CostModel
+    makespan: float
+    per_node_reasoning: list[float]
+    per_node_io: list[float]
+    per_node_sync: list[float]
+    aggregation_time: float
+    #: Deterministic analogue of the makespan: max over nodes of total work
+    #: units (communication excluded) — used for machine-independent
+    #: speedup checks in tests.
+    work_makespan: int = 0
+
+    @property
+    def k(self) -> int:
+        return self.result.k
+
+    def breakdown(self) -> OverheadBreakdown:
+        return OverheadBreakdown(
+            reasoning=max(self.per_node_reasoning, default=0.0),
+            io=max(self.per_node_io, default=0.0),
+            sync=max(self.per_node_sync, default=0.0),
+            aggregation=self.aggregation_time,
+        )
+
+    def speedup(self, serial_time: float) -> float:
+        return serial_time / self.makespan if self.makespan > 0 else float("inf")
+
+    def work_speedup(self, serial_work: int) -> float:
+        return serial_work / self.work_makespan if self.work_makespan else float("inf")
+
+
+class SimulatedCluster:
+    """Run a :class:`ParallelReasoner` and reconstruct its cluster timeline.
+
+    ``mode="sync"`` is the paper's implementation (BSP rounds);
+    ``mode="async"`` is Section VI-B's proposed improvement.
+    """
+
+    def __init__(
+        self,
+        reasoner: ParallelReasoner,
+        cost_model: CostModel | None = None,
+        mode: Literal["sync", "async"] = "sync",
+    ) -> None:
+        self.reasoner = reasoner
+        self.cost_model = cost_model if cost_model is not None else CostModel.file_ipc()
+        if mode not in ("sync", "async"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+
+    def run(self, graph: Graph) -> SimulatedRun:
+        result = self.reasoner.materialize(graph)
+        return self.reconstruct(result)
+
+    def reconstruct(self, result: ParallelRunResult) -> SimulatedRun:
+        """Build the timeline from a completed run's stats (reusable for
+        replaying one run under several cost models)."""
+        stats: RunStats = result.stats
+        k = stats.k
+        cm = self.cost_model
+
+        per_node_reasoning = [0.0] * k
+        per_node_io = [0.0] * k
+        per_node_sync = [0.0] * k
+        makespan = 0.0
+
+        for round_stats in stats.rounds:
+            busy = [0.0] * k
+            for s in round_stats:
+                io = cm.transfer_time(s.sent_bytes, s.sent_messages)
+                # Receiving costs too: same model, message count approximated
+                # by tuples arriving in at-most-one batch per sender.
+                io += cm.transfer_time(
+                    s.received_bytes, 1 if s.received_bytes else 0
+                )
+                per_node_reasoning[s.node_id] += s.reasoning_time
+                per_node_io[s.node_id] += io
+                busy[s.node_id] = s.reasoning_time + io
+            round_time = max(busy, default=0.0)
+            if self.mode == "sync":
+                makespan += round_time
+                for i in range(k):
+                    per_node_sync[i] += round_time - busy[i]
+            else:
+                # async: no barrier; accumulate per-node busy time and take
+                # the max at the end.
+                pass
+
+        if self.mode == "async":
+            finish = [
+                per_node_reasoning[i] + per_node_io[i] for i in range(k)
+            ]
+            makespan = max(finish, default=0.0)
+
+        output_bytes = sum(
+            len(triple_to_ntriples(t)) + 1
+            for g in result.node_outputs
+            for t in g
+        )
+        aggregation = stats.aggregation_time + cm.aggregation_time(output_bytes)
+        makespan += aggregation
+
+        work_per_node = stats.work_per_node()
+        return SimulatedRun(
+            result=result,
+            cost_model=cm,
+            makespan=makespan,
+            per_node_reasoning=per_node_reasoning,
+            per_node_io=per_node_io,
+            per_node_sync=per_node_sync,
+            aggregation_time=aggregation,
+            work_makespan=max(work_per_node, default=0),
+        )

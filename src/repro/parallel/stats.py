@@ -1,0 +1,81 @@
+"""Run statistics: everything the experiments need to rebuild the paper's
+figures — per-node per-round reasoning times, message volumes, and the
+derived reasoning/IO/sync/aggregation breakdown (Fig 2's four series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class NodeRoundStats:
+    """One node's measurements for one round."""
+
+    node_id: int
+    round_no: int
+    reasoning_time: float
+    work: int
+    derived: int
+    received_tuples: int
+    sent_tuples: int
+    sent_bytes: int
+    received_bytes: int
+    sent_messages: int
+
+
+@dataclass
+class RunStats:
+    """Per-round, per-node measurements of a full parallel run.
+
+    ``rounds[r][i]`` is node i's stats in round r.  Aggregation helpers
+    fold these into the per-node and per-run numbers the experiments print.
+    """
+
+    k: int
+    rounds: list[list[NodeRoundStats]] = field(default_factory=list)
+    aggregation_time: float = 0.0
+    partition_time: float = 0.0
+
+    # -- foldings -------------------------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def reasoning_time_per_node(self) -> list[float]:
+        out = [0.0] * self.k
+        for round_stats in self.rounds:
+            for s in round_stats:
+                out[s.node_id] += s.reasoning_time
+        return out
+
+    def work_per_node(self) -> list[int]:
+        out = [0] * self.k
+        for round_stats in self.rounds:
+            for s in round_stats:
+                out[s.node_id] += s.work
+        return out
+
+    def bytes_per_node(self) -> list[tuple[int, int]]:
+        """(sent, received) byte totals per node."""
+        out = [(0, 0)] * self.k
+        for round_stats in self.rounds:
+            for s in round_stats:
+                sent, recv = out[s.node_id]
+                out[s.node_id] = (sent + s.sent_bytes, recv + s.received_bytes)
+        return out
+
+    def messages_per_node(self) -> list[int]:
+        out = [0] * self.k
+        for round_stats in self.rounds:
+            for s in round_stats:
+                out[s.node_id] += s.sent_messages
+        return out
+
+    def total_tuples_communicated(self) -> int:
+        return sum(s.sent_tuples for r in self.rounds for s in r)
+
+    def total_derived(self) -> int:
+        return sum(s.derived for r in self.rounds for s in r)

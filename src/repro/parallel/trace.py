@@ -1,0 +1,90 @@
+"""Run-trace export: RunStats to CSV/JSON for offline analysis.
+
+The experiment harness prints the aggregate figures; anyone studying the
+runtime (per-round load curves, traffic matrices, migration effects) wants
+the raw per-node per-round records.  This module serializes
+:class:`~repro.parallel.stats.RunStats` losslessly in both formats and
+reloads the JSON form, so traces can be archived next to the experiment
+CSVs and replayed through :class:`~repro.parallel.simulated.SimulatedCluster`
+(via ``reconstruct``) under different cost models later.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.parallel.stats import NodeRoundStats, RunStats
+
+#: CSV column order (stable; new fields append).
+CSV_COLUMNS = (
+    "round_no",
+    "node_id",
+    "reasoning_time",
+    "work",
+    "derived",
+    "received_tuples",
+    "sent_tuples",
+    "sent_bytes",
+    "received_bytes",
+    "sent_messages",
+)
+
+
+def stats_to_csv(stats: RunStats) -> str:
+    """One row per (round, node), plus a header."""
+    lines = [",".join(CSV_COLUMNS)]
+    for round_stats in stats.rounds:
+        for s in sorted(round_stats, key=lambda e: e.node_id):
+            lines.append(
+                ",".join(
+                    str(getattr(s, column)) for column in CSV_COLUMNS
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def stats_to_json(stats: RunStats) -> str:
+    """Lossless JSON document (round-trips via :func:`stats_from_json`)."""
+    payload: Mapping = {
+        "k": stats.k,
+        "partition_time": stats.partition_time,
+        "aggregation_time": stats.aggregation_time,
+        "rounds": [
+            [
+                {column: getattr(s, column) for column in CSV_COLUMNS}
+                for s in sorted(round_stats, key=lambda e: e.node_id)
+            ]
+            for round_stats in stats.rounds
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def stats_from_json(document: str) -> RunStats:
+    """Inverse of :func:`stats_to_json`."""
+    payload = json.loads(document)
+    stats = RunStats(
+        k=int(payload["k"]),
+        partition_time=float(payload.get("partition_time", 0.0)),
+        aggregation_time=float(payload.get("aggregation_time", 0.0)),
+    )
+    for round_payload in payload["rounds"]:
+        stats.rounds.append(
+            [
+                NodeRoundStats(
+                    node_id=int(e["node_id"]),
+                    round_no=int(e["round_no"]),
+                    reasoning_time=float(e["reasoning_time"]),
+                    work=int(e["work"]),
+                    derived=int(e["derived"]),
+                    received_tuples=int(e["received_tuples"]),
+                    sent_tuples=int(e["sent_tuples"]),
+                    sent_bytes=int(e["sent_bytes"]),
+                    received_bytes=int(e["received_bytes"]),
+                    sent_messages=int(e["sent_messages"]),
+                )
+                for e in round_payload
+            ]
+        )
+    return stats

@@ -1,0 +1,187 @@
+"""One partition's node loop (the per-node body of Algorithm 3).
+
+A worker owns its base tuples (plus the full schema), its rule set (the
+complete compiled set for data partitioning, a subset for rule
+partitioning), and a router.  Two entry points:
+
+* :meth:`PartitionWorker.bootstrap` — the first round: run the local
+  reasoner to fixpoint over the base tuples.
+* :meth:`PartitionWorker.step` — a subsequent round: ingest tuples received
+  from other nodes, resume the fixpoint with them as the delta.
+
+Both return a :class:`RoundResult` carrying the outgoing batches (already
+routed and de-duplicated — a tuple is sent to a given destination at most
+once per worker lifetime) and the measured reasoning time/work for the
+round, which the simulated cluster turns into timelines.
+
+Reasoning strategies (mirrors :class:`repro.owl.reasoner.HorstReasoner`):
+``forward`` runs semi-naive throughout; ``backward`` runs the Jena-style
+per-resource SLD materialization for the bootstrap round — the
+super-linear-cost path Section VI analyzes — then semi-naive for the
+incremental rounds (the hybrid shape of Jena's engine; incoming deltas are
+small, so the bootstrap dominates, as in the paper's Fig 2 where reasoning
+time dwarfs IO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from repro.datalog.ast import Rule
+from repro.datalog.backward import materialize_backward
+from repro.datalog.engine import SemiNaiveEngine
+from repro.parallel.messages import TupleBatch
+from repro.parallel.routing import Router
+from repro.rdf.graph import Graph
+from repro.rdf.triple import Triple
+from repro.util.timing import Stopwatch
+
+Strategy = Literal["forward", "backward"]
+
+
+@dataclass
+class RoundResult:
+    """What one node did in one round."""
+
+    node_id: int
+    round_no: int
+    outgoing: list[TupleBatch]
+    derived: int
+    received: int
+    reasoning_time: float
+    work: int
+
+    @property
+    def sent_tuples(self) -> int:
+        return sum(len(b) for b in self.outgoing)
+
+
+class PartitionWorker:
+    """One node of the parallel system.
+
+    >>> from repro.parallel.routing import BroadcastRouter
+    >>> from repro.datalog.parser import parse_rules
+    >>> from repro.rdf import Graph, URI, Triple
+    >>> rules = parse_rules('''@prefix ex: <ex:>
+    ... [t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]''')
+    >>> g = Graph([Triple(URI("ex:1"), URI("ex:p"), URI("ex:2"))])
+    >>> w = PartitionWorker(0, g, rules, BroadcastRouter(2))
+    >>> result = w.bootstrap()
+    >>> result.derived
+    0
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        base: Graph,
+        rules: Sequence[Rule],
+        router: Router,
+        strategy: Strategy = "forward",
+        schema: Graph | None = None,
+        forward_received: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.graph = base.copy()
+        if schema is not None:
+            # Schema triples are replicated to every node (Algorithm 1
+            # strips them from the partitioned data; rules are compiled so
+            # they are rarely needed, but user rule sets may reference them).
+            self.graph.update(iter(schema))
+        self.rules = tuple(rules)
+        self.engine = SemiNaiveEngine(self.rules)
+        self.router = router
+        self.strategy: Strategy = strategy
+        #: Re-route tuples received from peers (dedup-guarded).  Off for
+        #: static partitioning (the sender already reached every owner);
+        #: required when ownership can change mid-run (dynamic
+        #: rebalancing), where an in-flight tuple may land on a node that
+        #: is no longer the owner and must be forwarded onward.
+        self.forward_received = forward_received
+        self.round_no = 0
+        #: Tuples already sent (to anyone) — each tuple is routed once.
+        self._sent: set[Triple] = set()
+
+    # -- rounds --------------------------------------------------------------
+
+    def bootstrap(self) -> RoundResult:
+        """Round 0: local fixpoint over the base tuples."""
+        watch = Stopwatch()
+        if self.strategy == "backward":
+            materialized, stats = materialize_backward(self.graph, self.rules)
+            fresh = [t for t in materialized if t not in self.graph]
+            self.graph = materialized
+            work = stats.work
+        else:
+            result = self.engine.run(self.graph)
+            fresh = list(result.inferred)
+            work = result.stats.work
+        reasoning_time = watch.elapsed()
+        return self._finish_round(fresh, received=0,
+                                  reasoning_time=reasoning_time, work=work)
+
+    def step(self, incoming: Iterable[TupleBatch]) -> RoundResult:
+        """One communication round: ingest received batches, resume the
+        fixpoint with them as the delta."""
+        received: list[Triple] = []
+        for batch in incoming:
+            for t in batch.triples:
+                if t not in self.graph:
+                    received.append(t)
+        watch = Stopwatch()
+        if received:
+            result = self.engine.run(self.graph, delta=received)
+            fresh = list(result.inferred)
+            work = result.stats.work
+        else:
+            fresh = []
+            work = 0
+        reasoning_time = watch.elapsed()
+        # With static ownership the sender already routed received tuples
+        # to every owner, so only locally derived tuples are routed.  Under
+        # dynamic rebalancing ownership may have moved since the sender
+        # routed, so received tuples re-enter routing (dedup keeps this
+        # from looping).
+        routable = list(fresh)
+        if self.forward_received:
+            routable.extend(received)
+        return self._finish_round(fresh, received=len(received),
+                                  reasoning_time=reasoning_time, work=work,
+                                  routable=routable)
+
+    def _finish_round(
+        self, fresh: Sequence[Triple], received: int,
+        reasoning_time: float, work: int,
+        routable: Sequence[Triple] | None = None,
+    ) -> RoundResult:
+        outgoing_map: dict[int, list[Triple]] = {}
+        for t in (routable if routable is not None else fresh):
+            if t in self._sent:
+                continue
+            dests = self.router.destinations(self.node_id, t)
+            if dests:
+                self._sent.add(t)
+                for d in dests:
+                    outgoing_map.setdefault(d, []).append(t)
+        batches = [
+            TupleBatch.make(self.node_id, dest, self.round_no, triples)
+            for dest, triples in sorted(outgoing_map.items())
+        ]
+        result = RoundResult(
+            node_id=self.node_id,
+            round_no=self.round_no,
+            outgoing=batches,
+            derived=len(fresh),
+            received=received,
+            reasoning_time=reasoning_time,
+            work=work,
+        )
+        self.round_no += 1
+        return result
+
+    # -- results ---------------------------------------------------------------
+
+    def output_graph(self) -> Graph:
+        """This node's final KB (base + received + inferred)."""
+        return self.graph

@@ -1,0 +1,59 @@
+"""Workload partitioning — the paper's core contribution (Section III).
+
+Two families:
+
+* **Data partitioning** (:func:`partition_data`, Algorithm 1): strip the
+  schema, derive a resource *owner list* with a pluggable policy, place each
+  triple on the owner partition(s) of its subject and object.  Policies
+  (Section III-A): :class:`GraphPartitioningPolicy` (multilevel graph
+  partitioning — the paper's Metis), :class:`HashPartitioningPolicy`
+  (streaming hash), :class:`DomainPartitioningPolicy` (streaming,
+  dataset-aware).
+* **Rule partitioning** (:func:`partition_rules`, Algorithm 2): build the
+  rule-dependency graph, optionally weight edges by predicate statistics,
+  and partition it; each node gets all the data and a rule subset.
+
+Metrics (Section III, goals 1–4): :func:`compute_data_metrics` — ``bal``,
+input replication ``IR``, output replication ``OR``, and partitioning time.
+"""
+
+from repro.partitioning.base import (
+    DataPartitioningResult,
+    HashOwner,
+    OwnerFunction,
+    RulePartitioningResult,
+    TableOwner,
+)
+from repro.partitioning.data_generic import partition_data
+from repro.partitioning.policies import (
+    DomainPartitioningPolicy,
+    GraphPartitioningPolicy,
+    HashPartitioningPolicy,
+    PartitioningPolicy,
+)
+from repro.partitioning.rulepart import partition_rules
+from repro.partitioning.streaming import StreamingReport, stream_partition
+from repro.partitioning.metrics import (
+    DataPartitionMetrics,
+    compute_data_metrics,
+    output_replication,
+)
+
+__all__ = [
+    "OwnerFunction",
+    "TableOwner",
+    "HashOwner",
+    "DataPartitioningResult",
+    "RulePartitioningResult",
+    "partition_data",
+    "PartitioningPolicy",
+    "GraphPartitioningPolicy",
+    "HashPartitioningPolicy",
+    "DomainPartitioningPolicy",
+    "partition_rules",
+    "StreamingReport",
+    "stream_partition",
+    "DataPartitionMetrics",
+    "compute_data_metrics",
+    "output_replication",
+]

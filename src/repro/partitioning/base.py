@@ -1,0 +1,133 @@
+"""Partitioning result types and owner functions.
+
+The *owner function* abstraction captures the paper's "partition table":
+data partitioning assigns every resource an owning partition, and both the
+placement step of Algorithm 1 and the tuple-routing step of Algorithm 3
+consult that assignment.  Two realizations:
+
+* :class:`TableOwner` — an explicit dict (graph and domain policies); this
+  is the partition table the master ships to every node.
+* :class:`HashOwner` — a pure function of the term (hash policy); nothing
+  to ship, the paper's "owner-list need not be replicated in each
+  partition" scalability advantage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+from repro.datalog.ast import Rule
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+
+
+class OwnerFunction(Protocol):
+    """Maps a resource term to its owning partition id in ``[0, k)``."""
+
+    k: int
+
+    def __call__(self, term: Term) -> int: ...
+
+
+class TableOwner:
+    """Owner function backed by an explicit resource -> partition dict.
+
+    Resources absent from the table (e.g. resources first introduced by
+    inference, like a restriction class used as an rdf:type object) fall
+    back to a deterministic hash — every node computes the same fallback,
+    so routing stays consistent without coordination.
+    """
+
+    __slots__ = ("k", "table", "_fallback")
+
+    def __init__(self, k: int, table: dict[Term, int]) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        for term, pid in table.items():
+            if not 0 <= pid < k:
+                raise ValueError(f"owner of {term} is {pid}, outside [0, {k})")
+        self.k = k
+        self.table = table
+        self._fallback = HashOwner(k)
+
+    def __call__(self, term: Term) -> int:
+        pid = self.table.get(term)
+        if pid is None:
+            return self._fallback(term)
+        return pid
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __repr__(self) -> str:
+        return f"<TableOwner k={self.k} resources={len(self.table)}>"
+
+
+class HashOwner:
+    """Owner = stable hash of the term, mod k.
+
+    Uses BLAKE2b over the term's N-Triples form, so the assignment is
+    identical across processes and runs (Python's ``hash`` is per-process
+    randomized for strings, which would break cross-partition routing).
+    """
+
+    __slots__ = ("k", "salt")
+
+    def __init__(self, k: int, salt: int = 0) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.salt = salt
+
+    def __call__(self, term: Term) -> int:
+        h = hashlib.blake2b(
+            term.n3().encode(), digest_size=8, salt=self.salt.to_bytes(8, "big")
+        )
+        return int.from_bytes(h.digest(), "big") % self.k
+
+    def __repr__(self) -> str:
+        return f"<HashOwner k={self.k}>"
+
+
+@dataclass
+class DataPartitioningResult:
+    """Output of Algorithm 1.
+
+    ``partitions[i]`` holds partition i's base tuples (instance triples
+    placed on the owner of their subject and of their object — each triple
+    on at most two partitions).  ``schema`` is the stripped TBox, which
+    every node receives in full alongside the complete compiled rule set.
+    """
+
+    partitions: list[Graph]
+    owner: OwnerFunction
+    schema: Graph
+    policy_name: str
+    partition_time: float
+    #: Distinct resources per partition (the "No. of nodes in each
+    #: partition" of the paper's bal/IR metrics), vocabulary excluded.
+    nodes_per_partition: list[int] = field(default_factory=list)
+    #: Terms excluded from ownership (class URIs etc.); see
+    #: :func:`repro.partitioning.data_generic.default_vocabulary`.
+    vocabulary: set = field(default_factory=set)
+
+    @property
+    def k(self) -> int:
+        return len(self.partitions)
+
+
+@dataclass
+class RulePartitioningResult:
+    """Output of Algorithm 2: rule subsets plus the dependency-graph cut."""
+
+    rule_sets: list[list[Rule]]
+    policy_name: str
+    partition_time: float
+    edge_cut: int
+    dependency_edges: dict[tuple[int, int], int]
+
+    @property
+    def k(self) -> int:
+        return len(self.rule_sets)

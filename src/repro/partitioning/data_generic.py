@@ -1,0 +1,113 @@
+"""Algorithm 1 — generic data partitioning.
+
+Steps, verbatim from the paper:
+
+1. Remove all tuples involving schema elements (they go to every node with
+   the rule set).
+2. Derive the resource owner list with the chosen policy.
+3. Assign every tuple to the partition owning its subject **and** the
+   partition owning its object — so a tuple lives on at most two
+   partitions, and any two tuples that can join on a shared resource are
+   co-located on that resource's owner.
+
+Correctness precondition (Section II/III-A): the rule set consists of
+zero-join and single-join rules joining on subject/object positions.  The
+caller can enforce this with
+:func:`repro.datalog.analysis.check_data_partitionable`; the parallel
+reasoner does so automatically.
+"""
+
+from __future__ import annotations
+
+from repro.owl.reasoner import split_schema
+from repro.owl.vocabulary import RDF
+from repro.partitioning.base import DataPartitioningResult
+from repro.partitioning.policies import PartitioningPolicy
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, is_resource
+from repro.util.timing import Stopwatch
+
+
+def default_vocabulary(instance: Graph) -> set[Term]:
+    """Terms to exclude from ownership: class URIs in ``rdf:type`` object
+    position.
+
+    Class URIs are hub nodes — every instance of ``ex:Course`` has an edge
+    to the single ``ex:Course`` vertex — and owning them would replicate
+    every type triple of a class onto one partition, wrecking both balance
+    and replication.  Excluding them is sound because compiled OWL-Horst
+    rules mention classes only as *constants*: no rule joins two tuples
+    through a variable bound to a class, so class co-location is never
+    needed.  (A term that also occurs as an instance subject is data, not
+    vocabulary, and stays owned — the conservative hedge for user rule
+    sets.)
+    """
+    vocab = {
+        t.o for t in instance.match(None, RDF.type, None) if is_resource(t.o)
+    }
+    return {
+        v for v in vocab if next(instance.match(v, None, None), None) is None
+    }
+
+
+def partition_data(
+    graph: Graph,
+    policy: PartitioningPolicy,
+    k: int,
+    strip_schema: bool = True,
+    vocabulary: set[Term] | None = None,
+) -> DataPartitioningResult:
+    """Partition a KB's instance triples into ``k`` parts (Algorithm 1).
+
+    ``graph`` may mix schema and instance triples; with ``strip_schema``
+    (default) the TBox is separated out and returned via ``result.schema``.
+    ``vocabulary`` terms (default: :func:`default_vocabulary`) are treated
+    like literals — never owned, never a placement target.  The input
+    graph is not mutated.
+
+    >>> from repro.rdf import Graph, URI, Triple
+    >>> from repro.partitioning.policies import HashPartitioningPolicy
+    >>> g = Graph([Triple(URI("ex:a"), URI("ex:p"), URI("ex:b"))])
+    >>> result = partition_data(g, HashPartitioningPolicy(), k=2)
+    >>> sum(len(p) for p in result.partitions) >= 1
+    True
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    watch = Stopwatch()
+
+    if strip_schema:
+        schema, instance = split_schema(graph)
+    else:
+        schema, instance = Graph(), graph
+
+    vocab = (
+        default_vocabulary(instance) if vocabulary is None else set(vocabulary)
+    )
+    owner = policy.build(instance, k, vocabulary=frozenset(vocab))
+
+    partitions = [Graph() for _ in range(k)]
+    for t in instance:
+        subject_owner = owner(t.s)
+        partitions[subject_owner].add(t)
+        if is_resource(t.o) and t.o not in vocab:
+            object_owner = owner(t.o)
+            if object_owner != subject_owner:
+                partitions[object_owner].add(t)
+        # Literal and vocabulary objects have no owner; subject placement
+        # suffices (neither can bind the join variable of a compiled
+        # single-join rule).
+
+    nodes_per_partition = [
+        len(p.resources() - vocab) for p in partitions
+    ]
+
+    return DataPartitioningResult(
+        partitions=partitions,
+        owner=owner,
+        schema=schema,
+        policy_name=policy.name,
+        partition_time=watch.elapsed(),
+        nodes_per_partition=nodes_per_partition,
+        vocabulary=vocab,
+    )

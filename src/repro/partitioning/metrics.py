@@ -1,0 +1,109 @@
+"""Partitioning-quality metrics — Section III's four goals, as measurables.
+
+The paper proposes (and Table I reports):
+
+* ``bal`` — standard deviation of the number of *nodes* (resources) per
+  partition.  Diagnostic for balanced computation, because reasoning time
+  grows with node count.
+* ``IR`` (input replication) — Σ nodes per partition / distinct nodes in
+  the input graph.  Diagnostic for both duplicated work and communication
+  volume.  1.0 means no replication; the paper quotes ~1.07–1.2 for graph
+  partitioning and ~1.7–3 for hash at larger k.  (The paper prints IR − 1
+  in Table I — "duplication ... is nearly 10%" for 0.07–0.13 — we report
+  both conventions.)
+* ``OR`` (output replication) — Σ result tuples per partition / tuples in
+  the unioned output.  Measured after a parallel run.
+* partition time — wall-clock of the partitioning itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.partitioning.base import DataPartitioningResult
+from repro.rdf.graph import Graph
+
+
+@dataclass
+class DataPartitionMetrics:
+    """The Table-I row for one (policy, k) pair."""
+
+    policy: str
+    k: int
+    bal: float
+    input_replication: float
+    partition_time: float
+    total_nodes: int
+    nodes_per_partition: list[int]
+    output_replication: float | None = None
+
+    @property
+    def duplication(self) -> float:
+        """IR expressed as excess fraction (the paper's Table-I IR column):
+        0.07 means 7% of nodes are replicated copies."""
+        return self.input_replication - 1.0
+
+    def row(self) -> list:
+        """Experiment-harness table row (matches Table I's columns)."""
+        return [
+            self.policy,
+            self.k,
+            round(self.bal, 1),
+            "-" if self.output_replication is None
+            else round(self.output_replication - 1.0, 3),
+            round(self.duplication, 3),
+            round(self.partition_time, 3),
+        ]
+
+
+def _stddev(values: Sequence[int]) -> float:
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+def compute_data_metrics(
+    result: DataPartitioningResult,
+    instance: Graph,
+) -> DataPartitionMetrics:
+    """Compute bal and IR for a data-partitioning result.
+
+    ``instance`` is the unpartitioned instance graph (schema already
+    stripped) the result was produced from; it supplies the distinct-node
+    denominator of IR.
+    """
+    vocab = result.vocabulary
+    nodes_per_partition = result.nodes_per_partition or [
+        len(p.resources() - vocab) for p in result.partitions
+    ]
+    total_nodes = len(instance.resources() - vocab)
+    replicated_sum = sum(nodes_per_partition)
+    ir = replicated_sum / total_nodes if total_nodes else 1.0
+    return DataPartitionMetrics(
+        policy=result.policy_name,
+        k=result.k,
+        bal=_stddev(nodes_per_partition),
+        input_replication=ir,
+        partition_time=result.partition_time,
+        total_nodes=total_nodes,
+        nodes_per_partition=list(nodes_per_partition),
+    )
+
+
+def output_replication(partition_outputs: Sequence[Graph]) -> float:
+    """OR = Σ per-partition result tuples / tuples in the unioned result.
+
+    Computed over the *outputs* of a parallel run (base + inferred per
+    partition).  1.0 means every result tuple was derived/held exactly
+    once.
+    """
+    union: set = set()
+    total = 0
+    for g in partition_outputs:
+        total += len(g)
+        for t in g:
+            union.add(t)
+    return total / len(union) if union else 1.0

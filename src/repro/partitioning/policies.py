@@ -1,0 +1,213 @@
+"""Owner-list policies — Section III-A's three concrete algorithms.
+
+A policy turns an instance graph into an :class:`OwnerFunction`.  The
+trade-offs the paper discusses:
+
+========================  =========  ==========  ==============
+policy                    streaming  owner list  edge-cut aware
+========================  =========  ==========  ==============
+GraphPartitioningPolicy   no         table       yes (multilevel)
+HashPartitioningPolicy    yes        none        no
+DomainPartitioningPolicy  yes        table       indirectly
+========================  =========  ==========  ==============
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.graphpart import MultilevelPartitioner, CSRGraph
+from repro.partitioning.base import HashOwner, OwnerFunction, TableOwner
+from repro.rdf.dictionary import EncodedGraph
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, URI
+
+
+class PartitioningPolicy(Protocol):
+    """Builds an owner function for an instance graph.
+
+    ``vocabulary`` terms (class URIs and other non-data hubs; see
+    :func:`repro.partitioning.data_generic.default_vocabulary`) must be
+    excluded from the ownership structure — they are never placement
+    targets.
+    """
+
+    name: str
+
+    def build(
+        self, instance: Graph, k: int, vocabulary: frozenset[Term] = frozenset()
+    ) -> OwnerFunction: ...
+
+
+class GraphPartitioningPolicy:
+    """Classical graph partitioning (Section III-A-1).
+
+    The instance triples are viewed as an undirected graph — one vertex per
+    resource, one edge per (subject, object) pair, uniform vertex weights —
+    and split into k balanced minimum-edge-cut parts by the multilevel
+    partitioner.  The owner list is each part's vertex set.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        balance_factor: float = 1.05,
+        refinement: bool = True,
+    ) -> None:
+        self.name = "graph"
+        self.seed = seed
+        self.balance_factor = balance_factor
+        self.refinement = refinement
+        #: Quality report of the last build (edge cut, balance) — surfaced
+        #: by the experiment harness next to the paper's metrics.
+        self.last_report = None
+
+    def build(
+        self, instance: Graph, k: int, vocabulary: frozenset[Term] = frozenset()
+    ) -> OwnerFunction:
+        encoded = EncodedGraph.from_triples(iter(instance))
+        vocab_ids = {
+            encoded.dictionary.encode_existing(term)
+            for term in vocabulary
+            if term in encoded.dictionary
+        }
+        resource_ids = [
+            int(i) for i in encoded.resource_ids() if int(i) not in vocab_ids
+        ]
+        if not resource_ids:
+            return TableOwner(k, {})
+        # Compact resource ids to 0..n-1 for the partitioner; edges into
+        # vocabulary hubs are dropped with their endpoints.
+        id_to_vertex = {t: i for i, t in enumerate(resource_ids)}
+        edges = encoded.edges()
+        kept_rows = [
+            (id_to_vertex[int(s)], id_to_vertex[int(o)])
+            for s, o in edges
+            if int(s) in id_to_vertex and int(o) in id_to_vertex
+        ]
+        compact = np.asarray(kept_rows, dtype=np.int64).reshape(-1, 2)
+        graph = CSRGraph.from_edges(len(resource_ids), compact)
+        report = MultilevelPartitioner(
+            k=k,
+            seed=self.seed,
+            balance_factor=self.balance_factor,
+            refinement=self.refinement,
+        ).partition(graph)
+        self.last_report = report
+        table = {
+            encoded.dictionary.decode(int(tid)): int(report.assignment[vertex])
+            for tid, vertex in id_to_vertex.items()
+        }
+        return TableOwner(k, table)
+
+    def __repr__(self) -> str:
+        return f"GraphPartitioningPolicy(seed={self.seed})"
+
+
+class HashPartitioningPolicy:
+    """Generic hash partitioning (Section III-A-2).
+
+    Stateless and streaming: the owner of a resource is a stable hash mod
+    k, so no pass over the data and no owner table.  The price the paper
+    measures: the hash ignores edge locality, so replication (IR) is high —
+    at 8/16 partitions the paper's runs exhausted memory.
+    """
+
+    def __init__(self, salt: int = 0) -> None:
+        self.name = "hash"
+        self.salt = salt
+
+    def build(
+        self, instance: Graph, k: int, vocabulary: frozenset[Term] = frozenset()
+    ) -> OwnerFunction:
+        # Stateless: vocabulary exclusion happens at placement time in
+        # Algorithm 1; the hash function itself needs no adjustment.
+        return HashOwner(k, salt=self.salt)
+
+    def __repr__(self) -> str:
+        return f"HashPartitioningPolicy(salt={self.salt})"
+
+
+class DomainPartitioningPolicy:
+    """Dataset-aware streaming partitioning (Section III-A-3).
+
+    A caller-supplied ``group_of`` function maps each resource to a domain
+    group key (e.g. the university a LUBM entity belongs to — entities of
+    one university are far likelier to be related to each other than across
+    universities).  Groups are assigned whole to partitions, each new group
+    going to the currently lightest partition (greedy balancing).  Resources
+    with no recognizable group (``group_of`` returns None) are spread by
+    hash.
+
+    Like the hash policy this is one streaming pass; unlike it, co-grouped
+    resources stay together, so edge cuts track the dataset's natural
+    cluster boundaries.
+    """
+
+    def __init__(self, group_of: Callable[[Term], str | None]) -> None:
+        self.name = "domain"
+        self.group_of = group_of
+
+    def build(
+        self, instance: Graph, k: int, vocabulary: frozenset[Term] = frozenset()
+    ) -> OwnerFunction:
+        group_sizes: dict[str, int] = {}
+        resource_group: dict[Term, str] = {}
+        ungrouped: list[Term] = []
+        for resource in instance.resources():
+            if resource in vocabulary:
+                continue
+            group = self.group_of(resource)
+            if group is None:
+                ungrouped.append(resource)
+            else:
+                resource_group[resource] = group
+                group_sizes[group] = group_sizes.get(group, 0) + 1
+
+        # Largest groups first, each to the lightest partition so far
+        # (greedy multiprocessor scheduling — 4/3-competitive, plenty for
+        # the paper's "nearly equal" goal).
+        part_load = [0] * k
+        group_part: dict[str, int] = {}
+        for group, size in sorted(
+            group_sizes.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lightest = min(range(k), key=part_load.__getitem__)
+            group_part[group] = lightest
+            part_load[lightest] += size
+
+        fallback = HashOwner(k)
+        table = {
+            resource: group_part[group]
+            for resource, group in resource_group.items()
+        }
+        for resource in ungrouped:
+            table[resource] = fallback(resource)
+        return TableOwner(k, table)
+
+    def __repr__(self) -> str:
+        return "DomainPartitioningPolicy()"
+
+
+def uri_prefix_grouper(pattern: str) -> Callable[[Term], str | None]:
+    """Helper for building domain policies: groups URIs by the first match
+    of a regex ``pattern`` (group 0) in their string form.
+
+    >>> from repro.rdf.terms import URI
+    >>> g = uri_prefix_grouper(r"University\\d+")
+    >>> g(URI("http://www.University3.edu/Dept1/prof2"))
+    'University3'
+    """
+    import re
+
+    compiled = re.compile(pattern)
+
+    def group_of(term: Term) -> str | None:
+        if not isinstance(term, URI):
+            return None
+        m = compiled.search(term.value)
+        return m.group(0) if m else None
+
+    return group_of

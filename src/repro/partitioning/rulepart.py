@@ -1,0 +1,149 @@
+"""Algorithm 2 — rule-base partitioning.
+
+Build the rule dependency graph (vertex per rule; edge when one rule's head
+can feed another's body; optional weights from predicate statistics), then
+partition it with the standard multilevel graph partitioner, minimizing the
+weight of cut edges — each cut edge is a producer/consumer pair split
+across nodes, i.e. tuples that must be communicated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.datalog.analysis import rule_dependency_graph, self_recursive
+from repro.datalog.ast import Rule
+from repro.graphpart import MultilevelPartitioner, CSRGraph
+from repro.partitioning.base import RulePartitioningResult
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Variable
+from repro.util.timing import Stopwatch
+
+#: Work multiplier for self-recursive rules (transitivity et al.): their
+#: output re-feeds their own body, so true cost tracks the closure rather
+#: than the base matches.  A fixed factor is a heuristic; the experiments
+#: only need "recursive rules are much heavier than zero-join rules".
+RECURSIVE_WEIGHT_FACTOR = 4
+
+
+def graph_workload_estimator(graph: Graph) -> Callable[[Rule], int]:
+    """Per-rule workload estimate from the actual data distribution.
+
+    Each body atom contributes the number of triples matching its *ground
+    positions* (so ``(?s rdf:type ub:Course)`` counts Course instances, not
+    every type triple); self-recursive rules are scaled by
+    :data:`RECURSIVE_WEIGHT_FACTOR`.  This is the "a priori knowledge about
+    the distribution of different predicates in the dataset" the paper
+    proposes, taken one step further from predicates to patterns.
+    """
+
+    def estimate(rule: Rule) -> int:
+        total = 0
+        for atom in rule.body:
+            s = None if isinstance(atom.s, Variable) else atom.s
+            p = None if isinstance(atom.p, Variable) else atom.p
+            o = None if isinstance(atom.o, Variable) else atom.o
+            total += graph.count(s, p, o)
+        if self_recursive(rule):
+            total *= RECURSIVE_WEIGHT_FACTOR
+        return 1 + total
+
+    return estimate
+
+
+def partition_rules(
+    rules: Sequence[Rule],
+    k: int,
+    predicate_stats: Mapping[Term, int] | None = None,
+    workload_estimator: Callable[[Rule], int] | None = None,
+    seed: int = 0,
+    balance_factor: float = 1.3,
+) -> RulePartitioningResult:
+    """Partition a rule base into ``k`` subsets (Algorithm 2).
+
+    ``predicate_stats`` (triple counts per predicate, from
+    :func:`repro.datalog.analysis.predicate_counts`) turns on the paper's
+    edge weighting: an edge from a prolific producer weighs more, so the
+    partitioner prefers to keep it internal.
+
+    The balance constraint is looser than for data partitioning
+    (``balance_factor=1.3``): rule counts per node matter less than cut
+    edges because per-rule workloads are wildly uneven anyway — the paper
+    balances "no. of rules in each partition" only approximately.
+
+    >>> from repro.owl.rules_horst import horst_raw_rules
+    >>> result = partition_rules(horst_raw_rules(), k=2)
+    >>> sorted(len(s) for s in result.rule_sets)[0] > 0
+    True
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k > len(rules):
+        raise ValueError(
+            f"cannot split {len(rules)} rules into {k} non-empty partitions"
+        )
+    watch = Stopwatch()
+
+    vertices, edges = rule_dependency_graph(rules, predicate_stats)
+    n = len(vertices)
+    if edges:
+        edge_array = np.asarray(list(edges.keys()), dtype=np.int64)
+        weight_array = np.asarray(list(edges.values()), dtype=np.int64)
+    else:
+        edge_array = np.empty((0, 2), dtype=np.int64)
+        weight_array = np.empty(0, dtype=np.int64)
+
+    # Vertex weights estimate per-rule workload, so the balance constraint
+    # equalizes expected *work*, not just rule counts — the paper balances
+    # rule counts and notes statistics-based weighting as the refinement;
+    # per-rule workloads are wildly uneven, so the refinement matters.
+    # Preferred: a pattern-selectivity estimator over the actual data
+    # (:func:`graph_workload_estimator`); fallback: predicate counts.
+    vertex_weights = None
+    if workload_estimator is not None:
+        vertex_weights = np.asarray(
+            [workload_estimator(rule) for rule in vertices], dtype=np.int64
+        )
+    elif predicate_stats is not None:
+        vertex_weights = np.asarray(
+            [
+                1
+                + sum(
+                    int(predicate_stats.get(atom.p, 0))
+                    for atom in rule.body
+                    if not atom.p.is_variable
+                )
+                for rule in vertices
+            ],
+            dtype=np.int64,
+        )
+
+    graph = CSRGraph.from_edges(
+        n, edge_array, edge_weights=weight_array, vertex_weights=vertex_weights
+    )
+    report = MultilevelPartitioner(
+        k=k, seed=seed, balance_factor=balance_factor
+    ).partition(graph)
+
+    rule_sets: list[list[Rule]] = [[] for _ in range(k)]
+    for i, rule in enumerate(vertices):
+        rule_sets[int(report.assignment[i])].append(rule)
+
+    # The partitioner may leave a part empty on tiny dependency graphs;
+    # rebalance by moving the least-connected rules out of the largest set.
+    for pid in range(k):
+        while not rule_sets[pid]:
+            donor = max(range(k), key=lambda i: len(rule_sets[i]))
+            if len(rule_sets[donor]) <= 1:
+                raise RuntimeError("cannot produce non-empty rule partitions")
+            rule_sets[pid].append(rule_sets[donor].pop())
+
+    return RulePartitioningResult(
+        rule_sets=rule_sets,
+        policy_name="rule-dependency",
+        partition_time=watch.elapsed(),
+        edge_cut=report.edge_cut,
+        dependency_edges=edges,
+    )

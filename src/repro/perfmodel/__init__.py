@@ -1,0 +1,24 @@
+"""Empirical performance modeling — the machinery behind Figs 3 and 4.
+
+The paper regresses a cubic model of serial reasoning time against dataset
+size (Fig 4: "since the worst case of the reasoning for the rule set is
+cubic, fitting a cubic model is reasonable") and derives the *theoretical
+maximum speedup* of a perfectly balanced, replication-free k-way partition
+(Fig 3): ``T(N) / T(N/k)``.
+"""
+
+from repro.perfmodel.model import (
+    CubicModel,
+    PerformancePoint,
+    fit_cubic,
+    sweep_serial_times,
+    theoretical_max_speedup,
+)
+
+__all__ = [
+    "CubicModel",
+    "PerformancePoint",
+    "fit_cubic",
+    "sweep_serial_times",
+    "theoretical_max_speedup",
+]

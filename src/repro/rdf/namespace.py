@@ -1,0 +1,103 @@
+"""Namespace helpers and the W3C vocabularies the OWL-Horst rule set uses.
+
+``Namespace`` supports both attribute and item access::
+
+    EX = Namespace("http://example.org/ns#")
+    EX.Student        # URI('http://example.org/ns#Student')
+    EX["sub-class"]   # names that are not Python identifiers
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import URI
+
+
+class Namespace:
+    """A URI prefix that mints interned :class:`URI` terms."""
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        object.__setattr__(self, "prefix", prefix)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Namespace is immutable")
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return URI(self.prefix + name)
+
+    def __getitem__(self, name: str) -> URI:
+        return URI(self.prefix + name)
+
+    def term(self, name: str) -> URI:
+        return URI(self.prefix + name)
+
+    def __contains__(self, term: object) -> bool:
+        return isinstance(term, URI) and term.value.startswith(self.prefix)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.prefix!r})"
+
+    def __str__(self) -> str:
+        return self.prefix
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and self.prefix == other.prefix
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.prefix))
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: The schema-level predicates/classes whose triples Algorithm 1 strips from
+#: the instance graph before ownership assignment (step 1 of the paper's
+#: data-partitioning algorithm).  Kept here because it is vocabulary, not
+#: policy; the partitioner imports it.
+SCHEMA_PREDICATES = frozenset(
+    {
+        RDFS.subClassOf,
+        RDFS.subPropertyOf,
+        RDFS.domain,
+        RDFS.range,
+        OWL.equivalentClass,
+        OWL.equivalentProperty,
+        OWL.inverseOf,
+        OWL.onProperty,
+        OWL.someValuesFrom,
+        OWL.allValuesFrom,
+        OWL.hasValue,
+        OWL.intersectionOf,
+        OWL.unionOf,
+        OWL.oneOf,
+        OWL.disjointWith,
+        OWL.complementOf,
+        RDF.first,
+        RDF.rest,
+    }
+)
+
+#: rdf:type objects that mark a triple as schema-level.
+SCHEMA_TYPE_OBJECTS = frozenset(
+    {
+        RDFS.Class,
+        RDF.Property,
+        OWL.Class,
+        OWL.Restriction,
+        OWL.ObjectProperty,
+        OWL.DatatypeProperty,
+        OWL.TransitiveProperty,
+        OWL.SymmetricProperty,
+        OWL.FunctionalProperty,
+        OWL.InverseFunctionalProperty,
+        OWL.AnnotationProperty,
+        OWL.Ontology,
+    }
+)

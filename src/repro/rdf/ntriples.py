@@ -1,0 +1,258 @@
+"""N-Triples parsing and serialization.
+
+N-Triples is the line-oriented RDF syntax the paper's shared-file
+communication layer would naturally use; our file-based comm backend and the
+dataset generators' save/load paths both go through this module.
+
+The parser covers the N-Triples 1.1 grammar for the constructs this library
+produces: IRIREF, blank node labels, literals with ``\\uXXXX``-style string
+escapes, datatypes, and language tags.  It is strict: malformed lines raise
+:class:`NTriplesParseError` with line numbers instead of being skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+from repro.rdf.terms import BNode, Literal, Term, URI
+from repro.rdf.triple import Triple
+
+
+class NTriplesParseError(ValueError):
+    """Raised on malformed N-Triples input; carries the 1-based line number."""
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+_ESCAPES = {
+    "t": "\t",
+    "b": "\b",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+
+class _Scanner:
+    """Character-cursor over one N-Triples line."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        text, n = self.text, len(self.text)
+        pos = self.pos
+        while pos < n and text[pos] in " \t":
+            pos += 1
+        self.pos = pos
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise NTriplesParseError(
+                f"expected {char!r} at column {self.pos}, found {self.peek()!r}"
+            )
+        self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    # -- token readers ----------------------------------------------------
+
+    def read_iriref(self) -> URI:
+        self.expect("<")
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            raise NTriplesParseError("unterminated IRI (missing '>')")
+        raw = self.text[self.pos : end]
+        self.pos = end + 1
+        if any(c in raw for c in ' "{}|^`') or any(ord(c) <= 0x20 for c in raw):
+            raise NTriplesParseError(f"illegal character in IRI <{raw}>")
+        return URI(_unescape(raw, allow_uchar_only=True))
+
+    def read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        text, n = self.text, len(self.text)
+        pos = self.pos
+        while pos < n and (text[pos].isalnum() or text[pos] in "_-."):
+            pos += 1
+        # trailing '.' belongs to the statement terminator, not the label
+        while pos > start and text[pos - 1] == ".":
+            pos -= 1
+        if pos == start:
+            raise NTriplesParseError("empty blank node label")
+        self.pos = pos
+        return BNode(text[start:pos])
+
+    def read_literal(self) -> Literal:
+        self.expect('"')
+        chunks: list[str] = []
+        text, n = self.text, len(self.text)
+        pos = self.pos
+        while True:
+            if pos >= n:
+                raise NTriplesParseError("unterminated literal (missing '\"')")
+            c = text[pos]
+            if c == '"':
+                pos += 1
+                break
+            if c == "\\":
+                pos += 1
+                if pos >= n:
+                    raise NTriplesParseError("dangling escape at end of literal")
+                esc = text[pos]
+                if esc in _ESCAPES:
+                    chunks.append(_ESCAPES[esc])
+                    pos += 1
+                elif esc == "u":
+                    chunks.append(_read_hex(text, pos + 1, 4))
+                    pos += 5
+                elif esc == "U":
+                    chunks.append(_read_hex(text, pos + 1, 8))
+                    pos += 9
+                else:
+                    raise NTriplesParseError(f"unknown escape '\\{esc}'")
+            else:
+                chunks.append(c)
+                pos += 1
+        self.pos = pos
+        lexical = "".join(chunks)
+
+        if self.peek() == "^":
+            self.expect("^")
+            self.expect("^")
+            dtype = self.read_iriref()
+            return Literal(lexical, datatype=dtype)
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while not self.at_end() and (self.peek().isalnum() or self.peek() == "-"):
+                self.pos += 1
+            tag = self.text[start : self.pos]
+            if not tag:
+                raise NTriplesParseError("empty language tag")
+            return Literal(lexical, language=tag)
+        return Literal(lexical)
+
+
+def _read_hex(text: str, start: int, width: int) -> str:
+    hexpart = text[start : start + width]
+    if len(hexpart) != width:
+        raise NTriplesParseError(f"truncated \\u escape: {hexpart!r}")
+    try:
+        return chr(int(hexpart, 16))
+    except ValueError as exc:
+        raise NTriplesParseError(f"bad \\u escape: {hexpart!r}") from exc
+
+
+def _unescape(raw: str, allow_uchar_only: bool = False) -> str:
+    if "\\" not in raw:
+        return raw
+    out: list[str] = []
+    i, n = 0, len(raw)
+    while i < n:
+        c = raw[i]
+        if c != "\\":
+            out.append(c)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise NTriplesParseError("dangling escape")
+        esc = raw[i + 1]
+        if esc == "u":
+            out.append(_read_hex(raw, i + 2, 4))
+            i += 6
+        elif esc == "U":
+            out.append(_read_hex(raw, i + 2, 8))
+            i += 10
+        elif not allow_uchar_only and esc in _ESCAPES:
+            out.append(_ESCAPES[esc])
+            i += 2
+        else:
+            raise NTriplesParseError(f"unknown escape '\\{esc}'")
+    return "".join(out)
+
+
+def parse_ntriples_line(line: str, lineno: int | None = None) -> Triple | None:
+    """Parse one line; returns ``None`` for blank lines and comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    try:
+        sc = _Scanner(stripped)
+        sc.skip_ws()
+        c = sc.peek()
+        if c == "<":
+            s: Term = sc.read_iriref()
+        elif c == "_":
+            s = sc.read_bnode()
+        else:
+            raise NTriplesParseError(f"subject must be IRI or bnode, found {c!r}")
+        sc.skip_ws()
+        p = sc.read_iriref()
+        sc.skip_ws()
+        c = sc.peek()
+        if c == "<":
+            o: Term = sc.read_iriref()
+        elif c == "_":
+            o = sc.read_bnode()
+        elif c == '"':
+            o = sc.read_literal()
+        else:
+            raise NTriplesParseError(f"object must be IRI, bnode or literal, found {c!r}")
+        sc.skip_ws()
+        sc.expect(".")
+        sc.skip_ws()
+        if not sc.at_end():
+            raise NTriplesParseError(
+                f"trailing characters after '.': {sc.text[sc.pos:]!r}"
+            )
+        return Triple(s, p, o)
+    except NTriplesParseError as exc:
+        if exc.lineno is None and lineno is not None:
+            raise NTriplesParseError(str(exc), lineno) from None
+        raise
+
+
+def parse_ntriples(source: str | TextIO) -> Iterator[Triple]:
+    """Parse an N-Triples document (string or text stream), yielding triples.
+
+    >>> list(parse_ntriples('<ex:a> <ex:p> "v" .'))
+    [Triple(URI('ex:a'), URI('ex:p'), Literal('v'))]
+    """
+    lines = source.splitlines() if isinstance(source, str) else source
+    for lineno, line in enumerate(lines, start=1):
+        t = parse_ntriples_line(line, lineno)
+        if t is not None:
+            yield t
+
+
+def triple_to_ntriples(triple: Triple) -> str:
+    """One triple as one N-Triples line (without the newline)."""
+    return f"{triple.s.n3()} {triple.p.n3()} {triple.o.n3()} ."
+
+
+def serialize_ntriples(triples: Iterable[Triple], sort: bool = False) -> str:
+    """Serialize triples to an N-Triples document.
+
+    ``sort=True`` gives a canonical ordering (term total order) so documents
+    can be diffed; the default preserves iteration order for speed.
+    """
+    items = list(triples)
+    if sort:
+        items.sort()
+    return "".join(triple_to_ntriples(t) + "\n" for t in items)

@@ -1,0 +1,87 @@
+"""Ground triples.
+
+A :class:`Triple` is the unit of data everywhere: the store holds them, the
+engine derives them, the runtime ships them between partitions.  It is a
+slotted immutable value type rather than a plain tuple so that call sites
+read ``t.s / t.p / t.o`` and invalid construction fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.rdf.terms import BNode, Literal, Term, URI, Variable
+
+
+class Triple:
+    """An RDF triple (subject, predicate, object).
+
+    Construction validates RDF positional constraints: subject is a URI or
+    blank node, predicate is a URI, object is any ground term.  Variables are
+    rejected — patterns with variables are represented by
+    :class:`repro.datalog.ast.Atom`, not by triples.
+
+    >>> from repro.rdf.terms import URI
+    >>> t = Triple(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+    >>> t.s, t.p, t.o == (URI("ex:a"), URI("ex:p"), URI("ex:b"))[0:3][2]
+    (URI('ex:a'), URI('ex:p'), True)
+    """
+
+    __slots__ = ("s", "p", "o", "_hash")
+
+    def __init__(self, s: Term, p: Term, o: Term) -> None:
+        if not isinstance(s, (URI, BNode)):
+            raise TypeError(f"triple subject must be URI or BNode, got {s!r}")
+        if not isinstance(p, URI):
+            raise TypeError(f"triple predicate must be URI, got {p!r}")
+        if not isinstance(o, (URI, BNode, Literal)):
+            if isinstance(o, Variable):
+                raise TypeError("triples are ground; use datalog.Atom for patterns")
+            raise TypeError(f"triple object must be a ground term, got {o!r}")
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "o", o)
+        object.__setattr__(self, "_hash", hash((s, p, o)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Triple is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return self.s == other.s and self.p == other.p and self.o == other.o
+
+    def __lt__(self, other: "Triple") -> bool:
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return (self.s, self.p, self.o) < (other.s, other.p, other.o)
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.s
+        yield self.p
+        yield self.o
+
+    def __getitem__(self, index: int) -> Term:
+        return (self.s, self.p, self.o)[index]
+
+    def __repr__(self) -> str:
+        return f"Triple({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def __str__(self) -> str:
+        return f"{self.s.n3()} {self.p.n3()} {self.o.n3()} ."
+
+    def n3(self) -> str:
+        return str(self)
+
+    def replace(self, s: Term | None = None, p: Term | None = None,
+                o: Term | None = None) -> "Triple":
+        """A copy with some positions substituted."""
+        return Triple(s or self.s, p or self.p, o or self.o)
+
+    def __reduce__(self):
+        return (Triple, (self.s, self.p, self.o))

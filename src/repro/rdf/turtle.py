@@ -1,0 +1,383 @@
+"""Turtle (subset) parser.
+
+N-Triples is the library's native interchange format, but most published
+ontologies and datasets ship as Turtle.  This parser covers the Turtle
+constructs those files actually use:
+
+* ``@prefix`` / ``@base`` declarations (and their SPARQL-style ``PREFIX`` /
+  ``BASE`` variants);
+* prefixed names, absolute IRIs, blank node labels;
+* the ``a`` keyword for ``rdf:type``;
+* predicate lists (``;``) and object lists (``,``);
+* literals: plain, language-tagged, typed (``^^``), and the numeric /
+  boolean shorthands (``42``, ``-1.5``, ``true``) with their XSD types;
+* long strings (``\"\"\"...\"\"\"``) and the standard escapes;
+* comments.
+
+Not covered (rejected with a clear error rather than misparsed): collection
+syntax ``( ... )``, anonymous blank nodes ``[ ... ]``, and ``@graph`` —
+none of which the OWL-Horst pipeline consumes.  Files needing them should
+be converted to N-Triples upstream.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, TextIO
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import XSD
+from repro.rdf.terms import BNode, Literal, Term, URI
+from repro.rdf.triple import Triple
+
+RDF_TYPE = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+class TurtleParseError(ValueError):
+    """Malformed Turtle; message carries the line number."""
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<triplequote>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<iri><[^<>\s]*>)
+  | (?P<prefix_decl>@prefix\b|@base\b|PREFIX\b|BASE\b)
+  | (?P<lang>@[A-Za-z][A-Za-z0-9-]*)
+  | (?P<caret>\^\^)
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<star>\*)
+  | (?P<punct>[;,.\[\](){}])
+  | (?P<bnode>_:[A-Za-z0-9_][A-Za-z0-9_.-]*)
+  | (?P<number>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<pname>[A-Za-z_][A-Za-z0-9_.-]*)?:(?P<plocal>[A-Za-z0-9_][A-Za-z0-9_.%-]*)?
+  | (?P<keyword>\b(?:a|true|false)\b)
+  | (?P<bareword>[A-Za-z_][A-Za-z0-9_.-]*)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "lineno")
+
+    def __init__(self, kind: str, text: str, lineno: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.lineno = lineno
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.lineno})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    lineno = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None or m.end() == pos:
+            snippet = text[pos : pos + 20]
+            raise TurtleParseError(f"unexpected input: {snippet!r}", lineno)
+        kind = m.lastgroup or ""
+        raw = m.group()
+        if kind == "plocal" or kind == "pname":
+            # The pname/plocal alternation matched a prefixed name (or a
+            # lone ':'); normalize to one token carrying the full text.
+            tokens.append(_Token("pname_full", raw, lineno))
+        elif kind in ("keyword", "bareword"):
+            if raw == "a":
+                tokens.append(_Token("kw_a", raw, lineno))
+            elif raw in ("true", "false"):
+                tokens.append(_Token("boolean", raw, lineno))
+            else:
+                tokens.append(_Token("bareword", raw, lineno))
+        elif kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, raw, lineno))
+        lineno += raw.count("\n")
+        pos = m.end()
+    return tokens
+
+
+def _unescape(raw: str, lineno: int) -> str:
+    out: list[str] = []
+    i, n = 0, len(raw)
+    while i < n:
+        c = raw[i]
+        if c != "\\":
+            out.append(c)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise TurtleParseError("dangling escape", lineno)
+        esc = raw[i + 1]
+        if esc in _ESCAPES:
+            out.append(_ESCAPES[esc])
+            i += 2
+        elif esc == "u":
+            out.append(chr(int(raw[i + 2 : i + 6], 16)))
+            i += 6
+        elif esc == "U":
+            out.append(chr(int(raw[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise TurtleParseError(f"unknown escape '\\{esc}'", lineno)
+    return "".join(out)
+
+
+class _TurtleParser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.prefixes: dict[str, str] = {}
+        self.base = ""
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            last = self.tokens[-1].lineno if self.tokens else 1
+            raise TurtleParseError("unexpected end of input", last)
+        self.index += 1
+        return tok
+
+    def expect_punct(self, char: str) -> None:
+        tok = self.next()
+        if tok.kind != "punct" or tok.text != char:
+            raise TurtleParseError(
+                f"expected {char!r}, found {tok.text!r}", tok.lineno
+            )
+
+    # -- productions -----------------------------------------------------------
+
+    def parse(self) -> Iterator[Triple]:
+        while True:
+            tok = self.peek()
+            if tok is None:
+                return
+            if tok.kind == "prefix_decl":
+                self._directive()
+                continue
+            yield from self._triples_block()
+
+    def _directive(self) -> None:
+        decl = self.next()
+        keyword = decl.text.lstrip("@").lower()
+        if keyword == "prefix":
+            name_tok = self.next()
+            if name_tok.kind != "pname_full" or not name_tok.text.endswith(":"):
+                raise TurtleParseError(
+                    f"expected prefix name, found {name_tok.text!r}",
+                    name_tok.lineno,
+                )
+            iri_tok = self.next()
+            if iri_tok.kind != "iri":
+                raise TurtleParseError(
+                    f"expected IRI, found {iri_tok.text!r}", iri_tok.lineno
+                )
+            self.prefixes[name_tok.text[:-1]] = self._resolve(iri_tok.text[1:-1])
+        else:  # base
+            iri_tok = self.next()
+            if iri_tok.kind != "iri":
+                raise TurtleParseError(
+                    f"expected IRI, found {iri_tok.text!r}", iri_tok.lineno
+                )
+            self.base = self._resolve(iri_tok.text[1:-1])
+        # Turtle directives end with '.'; SPARQL-style ones don't.
+        if decl.text.startswith("@"):
+            self.expect_punct(".")
+
+    def _resolve(self, iri: str) -> str:
+        if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri):
+            return self.base + iri
+        return iri
+
+    def _triples_block(self) -> Iterator[Triple]:
+        subject = self._subject()
+        while True:
+            predicate = self._predicate()
+            while True:
+                obj = self._object()
+                yield Triple(subject, predicate, obj)
+                tok = self.peek()
+                if tok is not None and tok.kind == "punct" and tok.text == ",":
+                    self.next()
+                    continue
+                break
+            tok = self.peek()
+            if tok is not None and tok.kind == "punct" and tok.text == ";":
+                self.next()
+                # Tolerate trailing ';' before '.'.
+                nxt = self.peek()
+                if nxt is not None and nxt.kind == "punct" and nxt.text == ".":
+                    self.next()
+                    return
+                continue
+            self.expect_punct(".")
+            return
+
+    def _subject(self) -> Term:
+        term = self._term()
+        if isinstance(term, Literal):
+            raise TurtleParseError("literal subject not allowed")
+        return term
+
+    def _predicate(self) -> URI:
+        tok = self.peek()
+        if tok is not None and tok.kind == "kw_a":
+            self.next()
+            return RDF_TYPE
+        term = self._term()
+        if not isinstance(term, URI):
+            raise TurtleParseError(f"predicate must be an IRI, got {term}")
+        return term
+
+    def _object(self) -> Term:
+        return self._term()
+
+    def _term(self) -> Term:
+        tok = self.next()
+        if tok.kind == "iri":
+            return URI(self._resolve(_unescape(tok.text[1:-1], tok.lineno)))
+        if tok.kind == "pname_full":
+            return self._expand_pname(tok)
+        if tok.kind == "bnode":
+            return BNode(tok.text[2:])
+        if tok.kind in ("string", "triplequote"):
+            quote_len = 3 if tok.kind == "triplequote" else 1
+            lexical = _unescape(tok.text[quote_len:-quote_len], tok.lineno)
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "caret":
+                self.next()
+                dtype = self._term()
+                if not isinstance(dtype, URI):
+                    raise TurtleParseError("datatype must be an IRI", tok.lineno)
+                return Literal(lexical, datatype=dtype)
+            if nxt is not None and nxt.kind == "lang":
+                self.next()
+                return Literal(lexical, language=nxt.text[1:])
+            return Literal(lexical)
+        if tok.kind == "number":
+            if "." in tok.text or "e" in tok.text or "E" in tok.text:
+                return Literal(tok.text, datatype=XSD.decimal)
+            return Literal(tok.text, datatype=XSD.integer)
+        if tok.kind == "boolean":
+            return Literal(tok.text, datatype=XSD.boolean)
+        if tok.kind == "punct" and tok.text in "[(":
+            raise TurtleParseError(
+                "collection/anonymous-node syntax is outside the supported "
+                "Turtle subset (convert to N-Triples upstream)",
+                tok.lineno,
+            )
+        raise TurtleParseError(f"unexpected token {tok.text!r}", tok.lineno)
+
+    def _expand_pname(self, tok: _Token) -> URI:
+        text = tok.text
+        colon = text.index(":")
+        prefix, local = text[:colon], text[colon + 1 :]
+        namespace = self.prefixes.get(prefix)
+        if namespace is None:
+            raise TurtleParseError(
+                f"unknown prefix {prefix + ':'!r}", tok.lineno
+            )
+        return URI(namespace + local.replace("%", "%"))
+
+
+def parse_turtle(source: str | TextIO) -> Iterator[Triple]:
+    """Parse a Turtle document (string or stream), yielding triples.
+
+    >>> list(parse_turtle('''
+    ... @prefix ex: <http://x.org/> .
+    ... ex:alice a ex:Person ; ex:knows ex:bob, ex:carol .
+    ... '''))[0].p.local_name()
+    'type'
+    """
+    text = source if isinstance(source, str) else source.read()
+    yield from _TurtleParser(text).parse()
+
+
+def parse_turtle_graph(source: str | TextIO) -> Graph:
+    """Parse a Turtle document into a fresh :class:`Graph`."""
+    return Graph(parse_turtle(source))
+
+
+# -- serialization -------------------------------------------------------------
+
+def _render_term(term: Term, prefixes: dict[str, str]) -> str:
+    """Turtle form of a term, preferring prefixed names."""
+    if isinstance(term, URI):
+        if term == RDF_TYPE:
+            return "a"
+        for name, prefix in prefixes.items():
+            if term.value.startswith(prefix):
+                local = term.value[len(prefix):]
+                if local and local[0].isalpha() and all(
+                    c.isalnum() or c in "_-" for c in local
+                ):
+                    return f"{name}:{local}"
+        return f"<{term.value}>"
+    # BNode and Literal n3 forms are valid Turtle.
+    return term.n3()
+
+
+def serialize_turtle(
+    graph: Graph,
+    prefixes: dict[str, str] | None = None,
+    base: str | None = None,
+) -> str:
+    """Serialize a graph as Turtle, grouped by subject with ';'/',' lists
+    and the ``a`` keyword; deterministic (term-order sorted) so output is
+    diff-stable.
+
+    >>> g = Graph()
+    >>> _ = g.add_spo(URI("http://x.org/s"), RDF_TYPE, URI("http://x.org/T"))
+    >>> print(serialize_turtle(g, {"ex": "http://x.org/"}).strip())
+    @prefix ex: <http://x.org/> .
+    <BLANKLINE>
+    ex:s a ex:T .
+    """
+    prefixes = dict(prefixes or {})
+    lines: list[str] = []
+    if base:
+        lines.append(f"@base <{base}> .")
+    for name in sorted(prefixes):
+        lines.append(f"@prefix {name}: <{prefixes[name]}> .")
+    if lines:
+        lines.append("")
+
+    by_subject: dict[Term, dict[Term, list[Term]]] = {}
+    for t in graph:
+        by_subject.setdefault(t.s, {}).setdefault(t.p, []).append(t.o)
+
+    for subject in sorted(by_subject):
+        subject_text = _render_term(subject, prefixes)
+        predicate_parts: list[str] = []
+        predicates = sorted(by_subject[subject])
+        # 'a' (rdf:type) first, per Turtle convention.
+        predicates.sort(key=lambda p: (p != RDF_TYPE, p))
+        for predicate in predicates:
+            objects = ", ".join(
+                _render_term(o, prefixes)
+                for o in sorted(by_subject[subject][predicate])
+            )
+            predicate_parts.append(
+                f"{_render_term(predicate, prefixes)} {objects}"
+            )
+        joined = " ;\n    ".join(predicate_parts)
+        lines.append(f"{subject_text} {joined} .")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,20 @@
+"""Small shared utilities: timing, deterministic seeding, table rendering.
+
+Nothing in this package knows about RDF or reasoning; it exists so the rest
+of the library never reaches for ad-hoc ``time.time()`` calls or hand-rolled
+string formatting.
+"""
+
+from repro.util.timing import Stopwatch, Timer, timed
+from repro.util.seeding import derive_seed, rng_for
+from repro.util.tables import ascii_table, format_float
+
+__all__ = [
+    "Stopwatch",
+    "Timer",
+    "timed",
+    "derive_seed",
+    "rng_for",
+    "ascii_table",
+    "format_float",
+]

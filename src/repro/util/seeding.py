@@ -1,0 +1,37 @@
+"""Deterministic seed derivation.
+
+Every stochastic component (dataset generators, the multilevel partitioner's
+matching order, hypothesis-free fuzz helpers) takes an integer seed and
+derives child seeds through :func:`derive_seed` so that a single top-level
+seed reproduces a whole experiment, including its nested randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(base: int, *labels: object) -> int:
+    """Derive a child seed from ``base`` and a label path.
+
+    Uses BLAKE2b over the repr of the label path, so the derivation is stable
+    across processes and Python versions (unlike ``hash()``, which is
+    randomized per process for strings).
+
+    >>> derive_seed(1, "a") == derive_seed(1, "a")
+    True
+    >>> derive_seed(1, "a") != derive_seed(1, "b")
+    True
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(base)).encode())
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(repr(label).encode())
+    return int.from_bytes(h.digest(), "big")
+
+
+def rng_for(base: int, *labels: object) -> random.Random:
+    """A :class:`random.Random` seeded by :func:`derive_seed`."""
+    return random.Random(derive_seed(base, *labels))

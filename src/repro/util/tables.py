@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper reports results as figures and one table; our harness prints the
+same rows/series as aligned ASCII tables (and optionally CSV) so the shape of
+each result is inspectable in a terminal without plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly: fixed-point for moderate magnitudes,
+    scientific for very small/large ones, integers without a trailing dot.
+
+    >>> format_float(2.0)
+    '2'
+    >>> format_float(0.1234)
+    '0.123'
+    """
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if value != 0 and (abs(value) < 10 ** (-digits) or abs(value) >= 1e7):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}g}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    out.write("\n")
+    out.write("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        out.write("\n")
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return out.getvalue()
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as minimal CSV (no quoting of commas; experiment values
+    are numbers and bare identifiers)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(_cell(v) for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Timing primitives used by the reasoner, the runtime, and the experiments.
+
+All measurements use :func:`time.perf_counter` (monotonic, highest available
+resolution).  The experiment harness additionally records deterministic
+*work counters* (rule firings, join probes) next to wall-clock numbers so
+results are comparable across machines; those counters live with the code
+that increments them, not here.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating timer: many start/stop cycles, one total.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    starts: int = 0
+    _t0: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._t0 is not None:
+            raise RuntimeError("Timer already running")
+        self._t0 = time.perf_counter()
+        self.starts += 1
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("Timer not running")
+        elapsed = time.perf_counter() - self._t0
+        self.total += elapsed
+        self._t0 = None
+        return elapsed
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None
+
+
+class Stopwatch:
+    """One-shot elapsed-time reader.
+
+    >>> sw = Stopwatch()
+    >>> sw.elapsed() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def restart(self) -> float:
+        """Return elapsed time and reset the origin."""
+        now = time.perf_counter()
+        elapsed = now - self._t0
+        self._t0 = now
+        return elapsed
+
+
+@contextmanager
+def timed(sink: Callable[[float], None]) -> Iterator[None]:
+    """Run a block and pass its duration (seconds) to ``sink``.
+
+    >>> out = []
+    >>> with timed(out.append):
+    ...     pass
+    >>> len(out)
+    1
+    """
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink(time.perf_counter() - t0)

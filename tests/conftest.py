@@ -1,0 +1,63 @@
+"""Shared fixtures: small ontologies and datasets every test layer uses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.owl.vocabulary import OWL, RDF, RDFS
+from repro.rdf import Graph, Namespace, URI
+
+EX = Namespace("http://example.org/test#")
+
+
+@pytest.fixture
+def ex():
+    return EX
+
+
+@pytest.fixture
+def family_tbox() -> Graph:
+    """A compact TBox touching every OWL-Horst construct the compiler
+    handles: class/property hierarchy, domain/range, transitive, symmetric,
+    inverse, and a someValuesFrom restriction."""
+    g = Graph()
+    g.add_spo(EX.Parent, RDFS.subClassOf, EX.Person)
+    g.add_spo(EX.Grandparent, RDFS.subClassOf, EX.Parent)
+    g.add_spo(EX.hasChild, RDFS.domain, EX.Parent)
+    g.add_spo(EX.hasChild, RDFS.range, EX.Person)
+    g.add_spo(EX.ancestorOf, RDF.type, OWL.TransitiveProperty)
+    g.add_spo(EX.hasChild, RDFS.subPropertyOf, EX.ancestorOf)
+    g.add_spo(EX.marriedTo, RDF.type, OWL.SymmetricProperty)
+    g.add_spo(EX.hasChild, OWL.inverseOf, EX.hasParent)
+    g.add_spo(EX.DogOwnerRestriction, OWL.onProperty, EX.owns)
+    g.add_spo(EX.DogOwnerRestriction, OWL.someValuesFrom, EX.Dog)
+    g.add_spo(EX.DogOwnerRestriction, RDFS.subClassOf, EX.DogOwner)
+    return g
+
+
+@pytest.fixture
+def family_data() -> Graph:
+    g = Graph()
+    g.add_spo(EX.alice, EX.hasChild, EX.bob)
+    g.add_spo(EX.bob, EX.hasChild, EX.carol)
+    g.add_spo(EX.carol, EX.hasChild, EX.dave)
+    g.add_spo(EX.alice, EX.marriedTo, EX.albert)
+    g.add_spo(EX.alice, EX.owns, EX.rex)
+    g.add_spo(EX.rex, RDF.type, EX.Dog)
+    return g
+
+
+@pytest.fixture
+def chain_graph() -> Graph:
+    """A 6-node transitive chain under EX.p."""
+    g = Graph()
+    for i in range(5):
+        g.add_spo(URI(f"http://example.org/test#n{i}"), EX.p,
+                  URI(f"http://example.org/test#n{i + 1}"))
+    return g
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration tests"
+    )

@@ -1,0 +1,135 @@
+"""Unit tests for rule analysis: join classes, the partitionability gate,
+and the rule dependency graph."""
+
+import pytest
+
+from repro.datalog import (
+    JoinClass,
+    classify_rule,
+    is_single_join,
+    parse_rules,
+    predicate_counts,
+    rule_dependency_graph,
+)
+from repro.datalog.analysis import (
+    check_data_partitionable,
+    join_variables,
+    self_recursive,
+)
+from repro.rdf import Graph, URI
+
+PREFIX = "@prefix ex: <ex:>\n"
+
+
+def rule(text):
+    return parse_rules(PREFIX + text)[0]
+
+
+class TestClassification:
+    def test_zero_join(self):
+        r = rule("[r: (?a ex:p ?b) -> (?b ex:p ?a)]")
+        assert classify_rule(r) is JoinClass.ZERO_JOIN
+
+    def test_single_join(self):
+        r = rule("[r: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
+        assert classify_rule(r) is JoinClass.SINGLE_JOIN
+        assert is_single_join(r)
+
+    def test_cartesian(self):
+        r = rule("[r: (?a ex:p ?b) (?c ex:q ?d) -> (?a ex:r ?c)]")
+        assert classify_rule(r) is JoinClass.CARTESIAN
+
+    def test_multi_join(self):
+        r = rule(
+            "[r: (?a ex:p ?b) (?b ex:p ?c) (?c ex:p ?d) -> (?a ex:p ?d)]"
+        )
+        assert classify_rule(r) is JoinClass.MULTI_JOIN
+
+    def test_join_variables(self):
+        r = rule("[r: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
+        assert {v.name for v in join_variables(r)} == {"b"}
+
+    def test_join_variables_rejects_non_single_join(self):
+        r = rule("[r: (?a ex:p ?b) -> (?b ex:p ?a)]")
+        with pytest.raises(ValueError):
+            join_variables(r)
+
+    def test_self_recursive(self):
+        trans = rule("[r: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
+        assert self_recursive(trans)
+        nonrec = rule("[r: (?a ex:p ?b) -> (?a ex:q ?b)]")
+        assert not self_recursive(nonrec)
+
+
+class TestPartitionabilityGate:
+    def test_single_join_set_passes(self):
+        rules = parse_rules(
+            PREFIX
+            + "[a: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]"
+            + "[b: (?a ex:p ?b) -> (?b ex:q ?a)]"
+        )
+        check_data_partitionable(rules)  # no raise
+
+    def test_multi_join_rejected(self):
+        rules = parse_rules(
+            PREFIX + "[m: (?a ex:p ?b) (?b ex:p ?c) (?c ex:p ?d) -> (?a ex:p ?d)]"
+        )
+        with pytest.raises(ValueError, match="multi-join"):
+            check_data_partitionable(rules)
+
+    def test_cartesian_rejected(self):
+        rules = parse_rules(
+            PREFIX + "[c: (?a ex:p ?b) (?c ex:q ?d) -> (?a ex:r ?c)]"
+        )
+        with pytest.raises(ValueError, match="cartesian"):
+            check_data_partitionable(rules)
+
+    def test_predicate_position_join_rejected(self):
+        rules = parse_rules(
+            PREFIX + "[p: (?a ?j ?b) (?j ex:q ?c) -> (?a ex:r ?c)]"
+        )
+        with pytest.raises(ValueError, match="predicate position"):
+            check_data_partitionable(rules)
+
+
+class TestDependencyGraph:
+    def test_feeding_edge_exists(self):
+        rules = parse_rules(
+            PREFIX
+            + "[prod: (?a ex:p ?b) -> (?a ex:q ?b)]"
+            + "[cons: (?a ex:q ?b) -> (?a ex:r ?b)]"
+        )
+        _, edges = rule_dependency_graph(rules)
+        assert (0, 1) in edges
+
+    def test_unrelated_rules_no_edge(self):
+        rules = parse_rules(
+            PREFIX
+            + "[a: (?a ex:p ?b) -> (?a ex:q ?b)]"
+            + "[b: (?a ex:x ?b) -> (?a ex:y ?b)]"
+        )
+        _, edges = rule_dependency_graph(rules)
+        assert edges == {}
+
+    def test_weighting_by_predicate_counts(self):
+        rules = parse_rules(
+            PREFIX
+            + "[big: (?a ex:p ?b) -> (?a ex:q ?b)]"
+            + "[consumer: (?a ex:q ?b) -> (?a ex:r ?b)]"
+            + "[small: (?a ex:x ?b) -> (?a ex:r ?b)]"
+            + "[consumer2: (?a ex:r ?b) -> (?a ex:s ?b)]"
+        )
+        stats = {URI("ex:q"): 100, URI("ex:r"): 1}
+        _, edges = rule_dependency_graph(rules, predicate_stats=stats)
+        assert edges[(0, 1)] == 100  # big -> consumer, weighted by q count
+        # small/consumer2 edge weighted by r count (>=1 floor).
+        assert edges[(2, 3)] == 1
+
+    def test_predicate_counts_helper(self):
+        g = Graph()
+        g.add_spo(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        g.add_spo(URI("ex:c"), URI("ex:p"), URI("ex:d"))
+        g.add_spo(URI("ex:a"), URI("ex:q"), URI("ex:b"))
+        counts = predicate_counts(g)
+        assert counts[URI("ex:p")] == 2
+        assert counts[URI("ex:q")] == 1

@@ -1,0 +1,153 @@
+"""Tests for owl:intersectionOf / owl:unionOf compilation (pD* extensions)
+and the star-join partitionability class they introduce."""
+
+import pytest
+
+from repro.datalog import parse_rules
+from repro.datalog.analysis import (
+    JoinClass,
+    check_data_partitionable,
+    classify_rule,
+)
+from repro.owl import HorstReasoner, compile_ontology
+from repro.owl.compiler import read_rdf_list
+from repro.owl.vocabulary import OWL, RDF
+from repro.parallel import ParallelReasoner
+from repro.rdf import Graph, Triple, URI
+from repro.rdf.terms import BNode
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+def rdf_list(graph, *members, tag="l"):
+    """Build an rdf:first/rest chain; returns the head node."""
+    head = RDF.nil
+    for i, member in reversed(list(enumerate(members))):
+        node = BNode(f"{tag}{i}")
+        graph.add_spo(node, RDF.first, member)
+        graph.add_spo(node, RDF.rest, head)
+        head = node
+    return head
+
+
+@pytest.fixture
+def tbox():
+    g = Graph()
+    g.add_spo(u("C"), OWL.intersectionOf, rdf_list(g, u("A"), u("B"), tag="i"))
+    g.add_spo(u("U"), OWL.unionOf, rdf_list(g, u("A"), u("B"), tag="un"))
+    return g
+
+
+class TestReadRdfList:
+    def test_reads_members_in_order(self, tbox):
+        head = tbox.value(u("C"), OWL.intersectionOf)
+        assert read_rdf_list(tbox, head) == [u("A"), u("B")]
+
+    def test_empty_list_is_nil(self):
+        assert read_rdf_list(Graph(), RDF.nil) == []
+
+    def test_malformed_list_raises(self):
+        g = Graph()
+        node = BNode("broken")
+        g.add_spo(node, RDF.first, u("A"))  # no rdf:rest
+        with pytest.raises(ValueError, match="malformed"):
+            read_rdf_list(g, node)
+
+    def test_cyclic_list_raises(self):
+        g = Graph()
+        a, b = BNode("ca"), BNode("cb")
+        g.add_spo(a, RDF.first, u("A"))
+        g.add_spo(a, RDF.rest, b)
+        g.add_spo(b, RDF.first, u("B"))
+        g.add_spo(b, RDF.rest, a)
+        with pytest.raises(ValueError, match="cyclic"):
+            read_rdf_list(g, a)
+
+
+class TestStarJoinClass:
+    def test_intersection_rule_is_star_join(self):
+        r = parse_rules(
+            "@prefix ex: <ex:>\n@prefix rdf: <rdf:>\n"
+            "[i: (?x rdf:type ex:A) (?x rdf:type ex:B) (?x rdf:type ex:C)"
+            " -> (?x rdf:type ex:D)]"
+        )[0]
+        assert classify_rule(r) is JoinClass.STAR_JOIN
+        check_data_partitionable([r])  # must pass
+
+    def test_three_atoms_without_common_variable_is_multi_join(self):
+        r = parse_rules(
+            "@prefix ex: <ex:>\n"
+            "[m: (?a ex:p ?b) (?b ex:p ?c) (?c ex:p ?d) -> (?a ex:p ?d)]"
+        )[0]
+        assert classify_rule(r) is JoinClass.MULTI_JOIN
+        with pytest.raises(ValueError):
+            check_data_partitionable([r])
+
+    def test_star_on_object_positions(self):
+        r = parse_rules(
+            "@prefix ex: <ex:>\n"
+            "[s: (?a ex:p ?x) (?b ex:q ?x) (?c ex:r ?x) -> (?x ex:popular ?x)]"
+        )[0]
+        assert classify_rule(r) is JoinClass.STAR_JOIN
+
+
+class TestSemantics:
+    def test_intersection_both_directions(self, tbox):
+        reasoner = HorstReasoner(tbox)
+        data = Graph()
+        data.add_spo(u("both"), RDF.type, u("A"))
+        data.add_spo(u("both"), RDF.type, u("B"))
+        data.add_spo(u("onlyA"), RDF.type, u("A"))
+        closed = reasoner.materialize(data).graph
+        assert Triple(u("both"), RDF.type, u("C")) in closed
+        assert Triple(u("onlyA"), RDF.type, u("C")) not in closed
+        # converse: C implies the members
+        back = reasoner.materialize(
+            Graph([Triple(u("z"), RDF.type, u("C"))])
+        ).graph
+        assert Triple(u("z"), RDF.type, u("A")) in back
+        assert Triple(u("z"), RDF.type, u("B")) in back
+
+    def test_union_members_imply_class(self, tbox):
+        reasoner = HorstReasoner(tbox)
+        data = Graph([Triple(u("onlyB"), RDF.type, u("B"))])
+        closed = reasoner.materialize(data).graph
+        assert Triple(u("onlyB"), RDF.type, u("U")) in closed
+
+    def test_union_has_no_unsound_converse(self, tbox):
+        reasoner = HorstReasoner(tbox)
+        closed = reasoner.materialize(
+            Graph([Triple(u("z"), RDF.type, u("U"))])
+        ).graph
+        assert Triple(u("z"), RDF.type, u("A")) not in closed
+
+    def test_forward_backward_agree(self, tbox):
+        reasoner = HorstReasoner(tbox)
+        data = Graph()
+        data.add_spo(u("both"), RDF.type, u("A"))
+        data.add_spo(u("both"), RDF.type, u("B"))
+        fwd = reasoner.materialize(data, strategy="forward")
+        bwd = reasoner.materialize(data, strategy="backward")
+        assert fwd.graph == bwd.graph
+
+    def test_per_template_counts(self, tbox):
+        crs = compile_ontology(tbox)
+        assert crs.per_template["unionOf"] == 2
+        assert crs.per_template["intersectionOf"] == 3  # 1 star + 2 converse
+
+
+class TestParallelWithStarJoins:
+    @pytest.mark.parametrize("approach", ["data", "rule"])
+    def test_parallel_matches_serial(self, tbox, approach):
+        data = Graph()
+        for i in range(6):
+            data.add_spo(u(f"e{i}"), RDF.type, u("A"))
+            if i % 2 == 0:
+                data.add_spo(u(f"e{i}"), RDF.type, u("B"))
+        serial = HorstReasoner(tbox).materialize(data)
+        pr = ParallelReasoner(tbox, k=3, approach=approach)
+        result = pr.materialize(data)
+        instance = Graph(t for t in result.graph if t not in pr.compiled.schema)
+        assert instance == serial.graph

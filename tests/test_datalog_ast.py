@@ -1,0 +1,125 @@
+"""Unit tests for atoms, rules, matching, and substitution."""
+
+import pytest
+
+from repro.datalog.ast import Atom, Rule, rules_by_name
+from repro.rdf import Triple, URI
+from repro.rdf.terms import Literal, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+P = URI("ex:p")
+
+
+class TestAtom:
+    def test_variables(self):
+        assert Atom(X, P, Y).variables() == {X, Y}
+
+    def test_is_ground(self):
+        assert Atom(URI("ex:a"), P, URI("ex:b")).is_ground()
+        assert not Atom(X, P, URI("ex:b")).is_ground()
+
+    def test_substitute_partial(self):
+        a = Atom(X, P, Y).substitute({X: URI("ex:a")})
+        assert a == Atom(URI("ex:a"), P, Y)
+
+    def test_substitute_follows_chains(self):
+        a = Atom(X, P, Y).substitute({X: Y, Y: URI("ex:g")})
+        assert a.s == URI("ex:g")
+
+    def test_to_triple_requires_ground(self):
+        with pytest.raises(ValueError):
+            Atom(X, P, Y).to_triple({X: URI("ex:a")})
+
+    def test_to_triple(self):
+        t = Atom(X, P, Y).to_triple({X: URI("ex:a"), Y: URI("ex:b")})
+        assert t == Triple(URI("ex:a"), P, URI("ex:b"))
+
+    def test_from_triple_round_trip(self):
+        t = Triple(URI("ex:a"), P, URI("ex:b"))
+        assert Atom.from_triple(t).to_triple() == t
+
+    def test_non_term_rejected(self):
+        with pytest.raises(TypeError):
+            Atom("ex:a", P, Y)
+
+    def test_immutable(self):
+        a = Atom(X, P, Y)
+        with pytest.raises(AttributeError):
+            a.s = Y
+
+
+class TestMatchTriple:
+    def test_basic_binding(self):
+        b = Atom(X, P, Y).match_triple(Triple(URI("ex:a"), P, URI("ex:b")))
+        assert b == {X: URI("ex:a"), Y: URI("ex:b")}
+
+    def test_ground_mismatch(self):
+        a = Atom(URI("ex:other"), P, Y)
+        assert a.match_triple(Triple(URI("ex:a"), P, URI("ex:b"))) is None
+
+    def test_repeated_variable_must_agree(self):
+        a = Atom(X, P, X)
+        assert a.match_triple(Triple(URI("ex:a"), P, URI("ex:b"))) is None
+        assert a.match_triple(Triple(URI("ex:a"), P, URI("ex:a"))) is not None
+
+    def test_existing_bindings_respected(self):
+        a = Atom(X, P, Y)
+        t = Triple(URI("ex:a"), P, URI("ex:b"))
+        assert a.match_triple(t, {X: URI("ex:zz")}) is None
+        extended = a.match_triple(t, {X: URI("ex:a")})
+        assert extended[Y] == URI("ex:b")
+
+    def test_does_not_mutate_input_bindings(self):
+        a = Atom(X, P, Y)
+        start = {X: URI("ex:a")}
+        a.match_triple(Triple(URI("ex:a"), P, URI("ex:b")), start)
+        assert start == {X: URI("ex:a")}
+
+    def test_unify_atom_ground_conflict(self):
+        assert not Atom(URI("ex:a"), P, X).unify_atom(Atom(URI("ex:b"), P, Y))
+        assert Atom(URI("ex:a"), P, X).unify_atom(Atom(Y, P, Z))
+
+
+class TestRule:
+    def test_safety_enforced(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            Rule("bad", [Atom(X, P, Y)], Atom(X, P, Z))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("empty", [], Atom(X, P, X))
+
+    def test_arity(self):
+        r = Rule("r", [Atom(X, P, Y), Atom(Y, P, Z)], Atom(X, P, Z))
+        assert r.arity == 2
+
+    def test_variables(self):
+        r = Rule("r", [Atom(X, P, Y), Atom(Y, P, Z)], Atom(X, P, Z))
+        assert r.variables() == {X, Y, Z}
+
+    def test_rename_variables(self):
+        r = Rule("r", [Atom(X, P, Y)], Atom(X, P, Y)).rename_variables("7")
+        assert r.variables() == {Variable("x_7"), Variable("y_7")}
+
+    def test_predicates(self):
+        r = Rule("r", [Atom(X, P, Y)], Atom(X, URI("ex:q"), Y))
+        assert r.predicates() == {P, URI("ex:q")}
+
+    def test_str_form(self):
+        r = Rule("r", [Atom(X, P, Y)], Atom(Y, P, X))
+        assert str(r) == "[r: (?x <ex:p> ?y) -> (?y <ex:p> ?x)]"
+
+    def test_immutable(self):
+        r = Rule("r", [Atom(X, P, Y)], Atom(Y, P, X))
+        with pytest.raises(AttributeError):
+            r.name = "other"
+
+    def test_literal_in_body_allowed(self):
+        Rule("r", [Atom(X, P, Literal("true"))], Atom(X, P, X))
+
+
+def test_rules_by_name_rejects_duplicates():
+    r1 = Rule("dup", [Atom(X, P, Y)], Atom(Y, P, X))
+    r2 = Rule("dup", [Atom(X, P, Y)], Atom(X, P, X))
+    with pytest.raises(ValueError, match="duplicate"):
+        rules_by_name([r1, r2])

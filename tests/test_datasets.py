@@ -1,0 +1,183 @@
+"""Unit tests for the three dataset generators."""
+
+import pytest
+
+from repro.datasets import LUBM, MDC, UOBM
+from repro.datasets.lubm import UB, LUBMGenerator, lubm_ontology
+from repro.datasets.mdc import MDCNS, MDCGenerator, mdc_ontology
+from repro.datasets.uobm import uobm_ontology
+from repro.owl import HorstReasoner
+from repro.owl.vocabulary import OWL, RDF, RDFS, is_schema_triple
+from repro.rdf import Triple, URI
+
+
+class TestLUBM:
+    def test_deterministic_under_seed(self):
+        a, b = LUBM(2, seed=5), LUBM(2, seed=5)
+        assert a.data == b.data
+
+    def test_seed_changes_data(self):
+        assert LUBM(2, seed=1).data != LUBM(2, seed=2).data
+
+    def test_size_scales_with_universities(self):
+        small, large = LUBM(1), LUBM(4)
+        assert 3.5 * len(small.data) < len(large.data) < 4.5 * len(small.data)
+
+    def test_ontology_is_pure_schema(self):
+        assert all(is_schema_triple(t) for t in lubm_ontology())
+
+    def test_data_is_pure_instance(self):
+        assert not any(is_schema_triple(t) for t in LUBM(1).data)
+
+    def test_expected_entity_mix(self):
+        data = LUBM(1).data
+        students = sum(
+            1 for _ in data.match(None, RDF.type, UB.UndergraduateStudent)
+        )
+        profs = sum(1 for _ in data.match(None, RDF.type, UB.FullProfessor))
+        assert students > profs > 0
+
+    def test_department_head_exists_per_department(self):
+        data = LUBM(2, departments_per_university=2).data
+        heads = sum(1 for _ in data.match(None, UB.headOf, None))
+        assert heads == 4  # 2 universities x 2 departments
+
+    def test_cross_university_degree_links(self):
+        ds = LUBM(4, cross_university_fraction=1.0, seed=3)
+        grouper = ds.domain_grouper
+        cross = 0
+        for t in ds.data.match(None, UB.undergraduateDegreeFrom, None):
+            if grouper(t.s) != grouper(t.o):
+                cross += 1
+        assert cross > 0
+
+    def test_domain_grouper_maps_to_university(self):
+        gen = LUBMGenerator(2)
+        grouper = gen.domain_grouper()
+        assert grouper(gen.entity_uri(1, "Department0/Student3")) == \
+            "http://www.University1.edu"
+        assert grouper(URI("http://elsewhere.org/x")) is None
+
+    def test_chair_inference_fires(self):
+        ds = LUBM(1)
+        closed = HorstReasoner(ds.ontology).materialize(ds.data).graph
+        chairs = list(closed.match(None, RDF.type, UB.Chair))
+        assert chairs, "the someValuesFrom restriction must classify heads"
+
+    def test_invalid_university_count(self):
+        with pytest.raises(ValueError):
+            LUBM(0)
+
+
+class TestUOBM:
+    def test_extends_lubm_vocabulary(self):
+        onto = uobm_ontology()
+        assert Triple(UB.isFriendOf, RDF.type, OWL.SymmetricProperty) in onto
+        assert next(onto.match(UB.Student, RDFS.subClassOf, None), None) is not None
+
+    def test_has_cross_university_social_edges(self):
+        ds = UOBM(3, cross_fraction=1.0, seed=1)
+        grouper = ds.domain_grouper
+        cross = sum(
+            1
+            for t in ds.data.match(None, UB.isFriendOf, None)
+            if grouper(t.s) != grouper(t.o)
+        )
+        assert cross > 0
+
+    def test_denser_than_lubm(self):
+        """UOBM's defining property for this paper: worse separability.
+        Compare graph-partitioning IR on equal-size inputs."""
+        from repro.partitioning import (
+            GraphPartitioningPolicy,
+            compute_data_metrics,
+            partition_data,
+        )
+
+        lubm = LUBM(3, seed=0)
+        uobm = UOBM(3, seed=0)
+        lubm_ir = compute_data_metrics(
+            partition_data(lubm.data, GraphPartitioningPolicy(seed=0), 3),
+            lubm.data,
+        ).input_replication
+        uobm_ir = compute_data_metrics(
+            partition_data(uobm.data, GraphPartitioningPolicy(seed=0), 3),
+            uobm.data,
+        ).input_replication
+        assert uobm_ir > lubm_ir
+
+    def test_hometown_chains_disjoint(self):
+        ds = UOBM(2, seed=4)
+        seen = set()
+        for t in ds.data.match(None, UB.hasSameHomeTownWith, None):
+            # Each person appears in at most one chain: at most 2 hometown
+            # edges (one in, one out), and chain interiors are unique.
+            pass
+        # Count degree per node in the hometown relation.
+        from collections import Counter
+
+        degree = Counter()
+        for t in ds.data.match(None, UB.hasSameHomeTownWith, None):
+            degree[t.s] += 1
+            degree[t.o] += 1
+        assert all(d <= 2 for d in degree.values())
+
+    def test_deterministic(self):
+        assert UOBM(2, seed=9).data == UOBM(2, seed=9).data
+
+
+class TestMDC:
+    def test_ontology_declares_transitive_hierarchy(self):
+        onto = mdc_ontology()
+        assert Triple(MDCNS.partOf, RDF.type, OWL.TransitiveProperty) in onto
+        assert Triple(MDCNS.hasPart, OWL.inverseOf, MDCNS.partOf) in onto
+
+    def test_partof_chains_have_configured_depth(self):
+        ds = MDC(1, wells_per_field=1, hierarchy_depth=7, sensors_per_well=0)
+        closed = HorstReasoner(ds.ontology).materialize(ds.data).graph
+        well = MDCGenerator.entity_uri(0, "Well0")
+        deepest = MDCGenerator.entity_uri(0, "Well0/L6")
+        assert Triple(deepest, MDCNS.partOf, well) in closed
+
+    def test_fields_nearly_disconnected(self):
+        from repro.partitioning import (
+            DomainPartitioningPolicy,
+            compute_data_metrics,
+            partition_data,
+        )
+
+        ds = MDC(4, seed=0)
+        metrics = compute_data_metrics(
+            partition_data(
+                ds.data, DomainPartitioningPolicy(ds.domain_grouper), 4
+            ),
+            ds.data,
+        )
+        assert metrics.duplication < 0.1
+
+    def test_transitive_closure_dominates_inference(self):
+        ds = MDC(2)
+        reasoner = HorstReasoner(ds.ontology)
+        result = reasoner.materialize(ds.data)
+        assert result.inferred_count > len(ds.data)
+
+    def test_domain_grouper(self):
+        gen = MDCGenerator(2)
+        grouper = gen.domain_grouper()
+        assert grouper(gen.entity_uri(1, "Well0")) == \
+            "http://mdc.example.org/Field1"
+        assert grouper(URI("http://elsewhere/x")) is None
+
+    def test_deterministic(self):
+        assert MDC(2, seed=3).data == MDC(2, seed=3).data
+
+    def test_invalid_field_count(self):
+        with pytest.raises(ValueError):
+            MDC(0)
+
+
+class TestRepr:
+    def test_dataset_repr_mentions_sizes(self):
+        ds = LUBM(1)
+        assert "LUBM-1" in repr(ds)
+        assert str(len(ds.data)) in repr(ds)

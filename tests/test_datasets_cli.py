@@ -1,0 +1,63 @@
+"""Tests for the dataset-generator CLI."""
+
+import pytest
+
+from repro.datasets.cli import main
+from repro.rdf import Graph, parse_ntriples
+
+
+def test_writes_combined_file(tmp_path, capsys):
+    out = tmp_path / "kb.nt"
+    assert main(["lubm", "-n", "1", "-o", str(out)]) == 0
+    g = Graph(parse_ntriples(out.read_text(encoding="utf-8")))
+    assert len(g) > 100
+
+
+def test_stdout_default(capsys):
+    assert main(["mdc", "-n", "1", "--data-only"]) == 0
+    out = capsys.readouterr().out
+    assert out.count(" .\n") > 10
+
+
+def test_ontology_only(tmp_path):
+    out = tmp_path / "tbox.nt"
+    assert main(["uobm", "-n", "1", "--ontology-only", "-o", str(out)]) == 0
+    g = Graph(parse_ntriples(out.read_text(encoding="utf-8")))
+    from repro.owl.vocabulary import is_schema_triple
+
+    assert all(is_schema_triple(t) for t in g)
+
+
+def test_data_only_excludes_schema(tmp_path):
+    out = tmp_path / "abox.nt"
+    assert main(["lubm", "-n", "1", "--data-only", "-o", str(out)]) == 0
+    g = Graph(parse_ntriples(out.read_text(encoding="utf-8")))
+    from repro.owl.vocabulary import is_schema_triple
+
+    assert not any(is_schema_triple(t) for t in g)
+
+
+def test_stats_to_stderr(tmp_path, capsys):
+    out = tmp_path / "kb.nt"
+    main(["lubm", "-n", "1", "--stats", "-o", str(out)])
+    err = capsys.readouterr().err
+    assert "LUBM-1" in err and "resources" in err
+
+
+def test_seed_changes_output(tmp_path):
+    a, b = tmp_path / "a.nt", tmp_path / "b.nt"
+    main(["lubm", "-n", "2", "--data-only", "--seed", "1", "-o", str(a)])
+    main(["lubm", "-n", "2", "--data-only", "--seed", "2", "-o", str(b)])
+    assert a.read_text() != b.read_text()
+
+
+def test_output_is_sorted_canonical(tmp_path):
+    a, b = tmp_path / "a.nt", tmp_path / "b.nt"
+    main(["mdc", "-n", "1", "-o", str(a)])
+    main(["mdc", "-n", "1", "-o", str(b)])
+    assert a.read_text() == b.read_text()
+
+
+def test_mutually_exclusive_flags_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["lubm", "--ontology-only", "--data-only"])

@@ -1,0 +1,78 @@
+"""Unit tests for term<->id encoding."""
+
+import numpy as np
+import pytest
+
+from repro.rdf import EncodedGraph, Graph, Literal, TermDictionary, URI
+
+
+class TestTermDictionary:
+    def test_dense_first_seen_order(self):
+        d = TermDictionary()
+        assert d.encode(URI("ex:a")) == 0
+        assert d.encode(URI("ex:b")) == 1
+        assert d.encode(URI("ex:a")) == 0
+        assert len(d) == 2
+
+    def test_decode_inverse(self):
+        d = TermDictionary()
+        for name in ("a", "b", "c"):
+            tid = d.encode(URI(f"ex:{name}"))
+            assert d.decode(tid) == URI(f"ex:{name}")
+
+    def test_encode_existing_raises_on_unknown(self):
+        with pytest.raises(KeyError):
+            TermDictionary().encode_existing(URI("ex:zz"))
+
+    def test_contains_and_iter(self):
+        d = TermDictionary()
+        d.encode(URI("ex:a"))
+        assert URI("ex:a") in d
+        assert list(d) == [URI("ex:a")]
+
+
+class TestEncodedGraph:
+    @pytest.fixture
+    def graph(self):
+        g = Graph()
+        g.add_spo(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        g.add_spo(URI("ex:b"), URI("ex:p"), Literal("leaf"))
+        return g
+
+    def test_round_trip(self, graph):
+        eg = EncodedGraph.from_triples(iter(graph))
+        assert Graph(eg.triples()) == graph
+
+    def test_lengths(self, graph):
+        eg = EncodedGraph.from_triples(iter(graph))
+        assert len(eg) == 2
+        assert len(eg.s_ids) == len(eg.p_ids) == len(eg.o_ids) == 2
+
+    def test_edges_exclude_literal_objects(self, graph):
+        eg = EncodedGraph.from_triples(iter(graph))
+        edges = eg.edges()
+        assert edges.shape == (1, 2)
+        d = eg.dictionary
+        assert d.decode(int(edges[0, 0])) == URI("ex:a")
+        assert d.decode(int(edges[0, 1])) == URI("ex:b")
+
+    def test_resource_ids_exclude_literals(self, graph):
+        eg = EncodedGraph.from_triples(iter(graph))
+        terms = {eg.dictionary.decode(int(i)) for i in eg.resource_ids()}
+        assert terms == {URI("ex:a"), URI("ex:b")}
+
+    def test_shared_dictionary(self, graph):
+        d = TermDictionary()
+        d.encode(URI("ex:prefill"))
+        eg = EncodedGraph.from_triples(iter(graph), dictionary=d)
+        assert eg.dictionary is d
+        assert URI("ex:prefill") in d
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedGraph(
+                TermDictionary(),
+                np.array([0]),
+                np.array([0, 1]),
+                np.array([0]),
+            )

@@ -1,0 +1,91 @@
+"""Run the doctests embedded in the library's docstrings.
+
+Keeps every usage example in the API documentation executable; a doctest
+that rots fails here.
+"""
+
+import doctest
+
+import pytest
+
+import repro.datalog.analysis
+import repro.datalog.ast
+import repro.datalog.backward
+import repro.datalog.engine
+import repro.datalog.parser
+import repro.graphpart.csr
+import repro.graphpart.kway
+import repro.graphpart.quality
+import repro.owl.compiler
+import repro.owl.reasoner
+import repro.owl.vocabulary
+import repro.parallel.comm
+import repro.parallel.hybrid
+import repro.parallel.worker
+import repro.partitioning.data_generic
+import repro.partitioning.policies
+import repro.partitioning.rulepart
+import repro.perfmodel.model
+import repro.rdf.dictionary
+import repro.rdf.graph
+import repro.rdf.namespace
+import repro.rdf.ntriples
+import repro.rdf.terms
+import repro.util.seeding
+import repro.util.tables
+import repro.util.timing
+import repro.datasets.lubm
+import repro.datasets.uobm
+import repro.datasets.mdc
+import repro.datalog.serializer
+import repro.owl.kb
+import repro.parallel.query
+import repro.parallel.trace
+import repro.rdf.query
+import repro.rdf.sparql
+import repro.rdf.turtle
+
+MODULES = [
+    repro.rdf.query,
+    repro.rdf.sparql,
+    repro.rdf.turtle,
+    repro.datalog.serializer,
+    repro.owl.kb,
+    repro.parallel.query,
+    repro.parallel.trace,
+    repro.rdf.terms,
+    repro.rdf.graph,
+    repro.rdf.namespace,
+    repro.rdf.ntriples,
+    repro.rdf.dictionary,
+    repro.datalog.ast,
+    repro.datalog.parser,
+    repro.datalog.engine,
+    repro.datalog.backward,
+    repro.datalog.analysis,
+    repro.owl.vocabulary,
+    repro.owl.compiler,
+    repro.owl.reasoner,
+    repro.graphpart.csr,
+    repro.graphpart.kway,
+    repro.graphpart.quality,
+    repro.partitioning.data_generic,
+    repro.partitioning.policies,
+    repro.partitioning.rulepart,
+    repro.parallel.comm,
+    repro.parallel.worker,
+    repro.parallel.hybrid,
+    repro.perfmodel.model,
+    repro.util.seeding,
+    repro.util.tables,
+    repro.util.timing,
+    repro.datasets.lubm,
+    repro.datasets.uobm,
+    repro.datasets.mdc,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,121 @@
+"""Edge-case battery across subsystems: empty inputs, degenerate sizes,
+and boundary parameters."""
+
+import numpy as np
+import pytest
+
+from repro.graphpart import CSRGraph, MultilevelPartitioner
+from repro.owl import HorstReasoner, MaterializedKB
+from repro.owl.compiler import compile_ontology
+from repro.parallel import ParallelReasoner
+from repro.partitioning import (
+    GraphPartitioningPolicy,
+    HashPartitioningPolicy,
+    compute_data_metrics,
+    partition_data,
+)
+from repro.rdf import BGPQuery, Graph, Triple, URI
+from repro.rdf.terms import Variable
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+class TestEmptyInputs:
+    def test_reasoner_on_empty_data(self, family_tbox):
+        result = HorstReasoner(family_tbox).materialize(Graph())
+        assert len(result.graph) == 0
+
+    def test_parallel_on_empty_data(self, family_tbox):
+        pr = ParallelReasoner(family_tbox, k=3)
+        result = pr.materialize(Graph())
+        instance = Graph(t for t in result.graph if t not in pr.compiled.schema)
+        assert len(instance) == 0
+        assert result.stats.total_tuples_communicated() == 0
+
+    def test_partition_empty_graph(self):
+        result = partition_data(Graph(), GraphPartitioningPolicy(), k=4)
+        assert all(len(p) == 0 for p in result.partitions)
+        metrics = compute_data_metrics(result, Graph())
+        assert metrics.input_replication == 1.0
+
+    def test_kb_empty_everything(self):
+        kb = MaterializedKB(Graph())
+        assert kb.add([]) == 0
+        assert kb.size == 0
+
+    def test_empty_rule_set_engine(self):
+        from repro.datalog import SemiNaiveEngine
+
+        g = Graph([Triple(u("a"), u("p"), u("b"))])
+        result = SemiNaiveEngine([]).run(g)
+        assert result.stats.derived == 0
+
+
+class TestDegenerateSizes:
+    def test_k1_partition_everything_in_part0(self, family_data):
+        result = partition_data(family_data, HashPartitioningPolicy(), k=1)
+        assert len(result.partitions) == 1
+        assert result.partitions[0] == family_data
+
+    def test_single_triple_parallel(self, family_tbox):
+        data = Graph([Triple(u("a"), u("hasChild"), u("b"))])
+        pr = ParallelReasoner(family_tbox, k=4)
+        serial = HorstReasoner(family_tbox).materialize(data)
+        result = pr.materialize(data)
+        instance = Graph(t for t in result.graph if t not in pr.compiled.schema)
+        assert instance == serial.graph
+
+    def test_k_larger_than_resources(self, family_tbox, family_data):
+        pr = ParallelReasoner(family_tbox, k=50)
+        serial = HorstReasoner(family_tbox).materialize(family_data)
+        result = pr.materialize(family_data)
+        instance = Graph(t for t in result.graph if t not in pr.compiled.schema)
+        assert instance == serial.graph
+
+    def test_partitioner_single_vertex(self):
+        g = CSRGraph.from_edges(1, np.empty((0, 2), dtype=np.int64))
+        report = MultilevelPartitioner(k=1).partition(g)
+        assert report.assignment.tolist() == [0]
+
+    def test_partitioner_disconnected_singletons(self):
+        g = CSRGraph.from_edges(8, np.empty((0, 2), dtype=np.int64))
+        report = MultilevelPartitioner(k=4, seed=1).partition(g)
+        assert report.edge_cut == 0
+        assert report.balance <= 1.01
+
+
+class TestBoundaryParameters:
+    def test_compile_instance_triples_mixed_in_schema_arg(self):
+        """compile_ontology tolerates instance triples in its input (only
+        schema-shaped atoms bind)."""
+        mixed = Graph()
+        mixed.add_spo(u("A"), URI("http://www.w3.org/2000/01/rdf-schema#subClassOf"), u("B"))
+        mixed.add_spo(u("alice"), u("likes"), u("bob"))
+        crs = compile_ontology(mixed)
+        assert any(r.name.startswith("rdfs9") for r in crs.rules)
+
+    def test_query_with_all_ground_pattern(self, family_data, ex):
+        from repro.datalog.ast import Atom
+
+        q = BGPQuery([Atom(ex.alice, ex.hasChild, ex.bob)])
+        assert q.ask(family_data)
+        rows = list(q.execute(family_data))
+        assert rows == [{}]
+
+    def test_trials_parameter_validated(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(k=2, trials=0)
+
+    def test_graph_policy_on_pure_literal_objects(self):
+        from repro.rdf import Literal
+
+        g = Graph()
+        for i in range(5):
+            g.add_spo(u(f"s{i}"), u("p"), Literal(f"v{i}"))
+        result = partition_data(g, GraphPartitioningPolicy(), k=2)
+        union = Graph()
+        for p in result.partitions:
+            union.update(iter(p))
+        assert union == g

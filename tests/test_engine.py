@@ -1,0 +1,134 @@
+"""Unit tests for the semi-naive engine (with the naive engine as oracle)."""
+
+import pytest
+
+from repro.datalog import NaiveEngine, SemiNaiveEngine, parse_rules
+from repro.rdf import Graph, Literal, Triple, URI
+
+PREFIX = "@prefix ex: <ex:>\n"
+TRANS = parse_rules(PREFIX + "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
+
+
+def chain(n, pred="ex:p"):
+    g = Graph()
+    for i in range(n):
+        g.add_spo(URI(f"ex:n{i}"), URI(pred), URI(f"ex:n{i + 1}"))
+    return g
+
+
+class TestFixpoint:
+    def test_transitive_chain_closure_size(self):
+        g = chain(5)
+        SemiNaiveEngine(TRANS).run(g)
+        # closure of a 6-node path: C(6,2) = 15 pairs
+        assert len(g) == 15
+
+    def test_inferred_excludes_base(self):
+        g = chain(3)
+        result = SemiNaiveEngine(TRANS).run(g)
+        assert len(result.inferred) == len(g) - 3
+
+    def test_cycle_terminates(self):
+        g = chain(3)
+        g.add_spo(URI("ex:n3"), URI("ex:p"), URI("ex:n0"))
+        SemiNaiveEngine(TRANS).run(g)
+        assert len(g) == 16  # complete digraph on 4 nodes incl self-loops
+
+    def test_empty_graph(self):
+        g = Graph()
+        result = SemiNaiveEngine(TRANS).run(g)
+        assert len(g) == 0 and result.stats.derived == 0
+
+    def test_no_applicable_rules(self):
+        g = chain(3, pred="ex:unrelated")
+        result = SemiNaiveEngine(TRANS).run(g)
+        assert result.stats.derived == 0
+
+    def test_matches_naive_oracle(self):
+        rules = parse_rules(
+            PREFIX
+            + "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]"
+            + "[s: (?a ex:p ?b) -> (?b ex:q ?a)]"
+            + "[j: (?a ex:q ?b) (?b ex:q ?c) -> (?a ex:r ?c)]"
+        )
+        g1, g2 = chain(6), chain(6)
+        SemiNaiveEngine(rules).run(g1)
+        NaiveEngine(rules).run(g2)
+        assert g1 == g2
+
+    def test_semi_naive_does_less_work_than_naive(self):
+        g1, g2 = chain(12), chain(12)
+        semi = SemiNaiveEngine(TRANS).run(g1)
+        naive = NaiveEngine(TRANS).run(g2)
+        assert g1 == g2
+        assert semi.stats.join_probes < naive.stats.join_probes
+
+    def test_max_iterations_guard(self):
+        g = chain(20)
+        with pytest.raises(RuntimeError, match="fixpoint"):
+            SemiNaiveEngine(TRANS, max_iterations=2).run(g)
+
+
+class TestResumableDelta:
+    def test_delta_resume_equals_from_scratch(self):
+        base = chain(4)
+        extra = [Triple(URI("ex:n4"), URI("ex:p"), URI("ex:n5")),
+                 Triple(URI("ex:n5"), URI("ex:p"), URI("ex:n6"))]
+
+        # From scratch over base+extra:
+        full = chain(4)
+        full.update(extra)
+        SemiNaiveEngine(TRANS).run(full)
+
+        # Incremental: fixpoint base, then resume with extra as delta.
+        engine = SemiNaiveEngine(TRANS)
+        engine.run(base)
+        engine.run(base, delta=extra)
+        assert base == full
+
+    def test_delta_with_already_known_triples_is_noop(self):
+        g = chain(4)
+        engine = SemiNaiveEngine(TRANS)
+        engine.run(g)
+        before = len(g)
+        result = engine.run(g, delta=[Triple(URI("ex:n0"), URI("ex:p"), URI("ex:n1"))])
+        assert len(g) == before
+        assert result.stats.derived == 0
+
+    def test_empty_delta_terminates_immediately(self):
+        g = chain(4)
+        engine = SemiNaiveEngine(TRANS)
+        engine.run(g)
+        result = engine.run(g, delta=[])
+        assert result.stats.iterations == 0
+
+
+class TestGeneralizedTriples:
+    def test_literal_subject_derivation_dropped(self):
+        # (?o type C) with o a literal must be skipped, not crash.
+        rules = parse_rules(PREFIX + "[r: (?s ex:p ?o) -> (?o ex:t ?s)]")
+        g = Graph([Triple(URI("ex:a"), URI("ex:p"), Literal("lit"))])
+        result = SemiNaiveEngine(rules).run(g)
+        assert result.stats.derived == 0
+
+    def test_naive_engine_also_drops(self):
+        rules = parse_rules(PREFIX + "[r: (?s ex:p ?o) -> (?o ex:t ?s)]")
+        g = Graph([Triple(URI("ex:a"), URI("ex:p"), Literal("lit"))])
+        result = NaiveEngine(rules).run(g)
+        assert result.stats.derived == 0
+
+
+class TestStats:
+    def test_work_counter_positive(self):
+        g = chain(5)
+        result = SemiNaiveEngine(TRANS).run(g)
+        assert result.stats.work > 0
+        assert result.stats.work == result.stats.join_probes + result.stats.firings
+
+    def test_merge(self):
+        from repro.datalog.engine import EngineStats
+
+        a = EngineStats(iterations=1, firings=2, derived=3, join_probes=4)
+        b = EngineStats(iterations=10, firings=20, derived=30, join_probes=40)
+        a.merge(b)
+        assert (a.iterations, a.firings, a.derived, a.join_probes) == (11, 22, 33, 44)

@@ -1,0 +1,82 @@
+"""Tests for the experiment harness internals (scales, serial baselines,
+the speedup runner, fig4's sweep)."""
+
+import pytest
+
+from repro.experiments.common import (
+    SCALES,
+    build_dataset,
+    measure_serial,
+    speedup_series,
+)
+from repro.experiments.fig4 import collect_points
+from repro.parallel.costmodel import CostModel
+
+
+class TestScales:
+    def test_three_presets(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+    def test_cluster_counts_cover_max_k(self):
+        """Each preset's datasets must have at least max(ks) natural
+        clusters, or the partitioning experiments can't separate them."""
+        for scale in SCALES.values():
+            k_max = max(scale.ks)
+            assert scale.lubm_universities >= min(k_max, 4)
+            assert scale.mdc_fields >= min(k_max, 4)
+
+    def test_paper_scale_reaches_16(self):
+        assert 16 in SCALES["paper"].ks
+
+
+class TestMeasureSerial:
+    def test_returns_time_and_work(self):
+        ds = build_dataset("lubm", SCALES["tiny"])
+        elapsed, work = measure_serial(ds, "forward")
+        assert elapsed > 0 and work > 0
+
+    def test_work_deterministic(self):
+        ds = build_dataset("lubm", SCALES["tiny"])
+        _, w1 = measure_serial(ds, "forward")
+        _, w2 = measure_serial(ds, "forward")
+        assert w1 == w2
+
+
+class TestSpeedupSeries:
+    def test_k1_is_unity(self):
+        ds = build_dataset("mdc", SCALES["tiny"])
+        points = speedup_series(ds, (1, 2), strategy="forward",
+                                cost_model=CostModel.zero())
+        assert points[0].speedup == 1.0
+        assert points[0].work_speedup == 1.0
+
+    def test_zero_cost_model_isolates_reasoning(self):
+        ds = build_dataset("mdc", SCALES["tiny"])
+        free = speedup_series(ds, (1, 2), strategy="forward",
+                              cost_model=CostModel.zero())[-1]
+        file_ipc = speedup_series(ds, (1, 2), strategy="forward",
+                                  cost_model=CostModel.file_ipc())[-1]
+        # Same run content; the free-comm makespan cannot be larger by
+        # more than measurement noise.
+        assert free.work_speedup == file_ipc.work_speedup
+
+    def test_rounds_recorded(self):
+        ds = build_dataset("mdc", SCALES["tiny"])
+        point = speedup_series(ds, (2,), strategy="forward")[-1]
+        assert point.rounds >= 1
+        assert point.run is not None
+
+
+class TestFig4Sweep:
+    def test_min_of_repeats_not_larger_than_single(self):
+        scale = SCALES["tiny"]
+        time_points, work_points = collect_points(scale, repeats=2)
+        assert len(time_points) == len(scale.fig4_sizes)
+        # Work is deterministic across repeats.
+        _, work_again = collect_points(scale, repeats=1)
+        assert [p.time for p in work_points] == [p.time for p in work_again]
+
+    def test_sizes_monotone_in_nodes(self):
+        time_points, _ = collect_points(SCALES["tiny"], repeats=1)
+        sizes = [p.size for p in time_points]
+        assert sizes == sorted(sizes)

@@ -1,0 +1,187 @@
+"""Unit tests for the multilevel graph partitioner, with networkx as the
+structural oracle where helpful."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphpart import (
+    CSRGraph,
+    MultilevelPartitioner,
+    balance,
+    edge_cut,
+    part_weights,
+    partition_graph,
+)
+from repro.graphpart.coarsen import coarsen, contract, heavy_edge_matching
+from repro.graphpart.initial import greedy_growing
+from repro.util.seeding import rng_for
+
+
+def clustered(num_clusters=4, size=60, intra=240, inter=8, seed=0):
+    rng = rng_for(seed, "test-clustered")
+    edges = []
+    n = num_clusters * size
+    for c in range(num_clusters):
+        base = c * size
+        for _ in range(intra):
+            edges.append((base + rng.randrange(size), base + rng.randrange(size)))
+    for _ in range(inter):
+        edges.append((rng.randrange(n), rng.randrange(n)))
+    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+class TestCSRGraph:
+    def test_from_edges_merges_duplicates(self):
+        g = CSRGraph.from_edges(3, np.array([[0, 1], [1, 0], [0, 1]]))
+        assert g.num_edges == 1
+        assert g.edge_weight_between(0, 1) == 3
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(2, np.array([[0, 0], [0, 1]]))
+        assert g.num_edges == 1
+
+    def test_degrees_and_neighbors(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [0, 2], [0, 3]]))
+        assert g.degree(0) == 3
+        assert set(g.neighbors(0).tolist()) == {1, 2, 3}
+        assert g.degree(1) == 1
+
+    def test_iter_edges_each_once(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        assert len(list(g.iter_edges())) == 3
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, np.array([[0, 5]]))
+
+    def test_vertex_weights_default_ones(self):
+        g = CSRGraph.from_edges(3, np.array([[0, 1]]))
+        assert g.total_vertex_weight() == 3
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(5, np.empty((0, 2), dtype=np.int64))
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+
+class TestCoarsening:
+    def test_matching_is_symmetric(self):
+        g = clustered()
+        match = heavy_edge_matching(g, seed=1, level=0)
+        for v in range(g.n):
+            assert match[match[v]] == v
+
+    def test_contract_preserves_total_weight(self):
+        g = clustered()
+        match = heavy_edge_matching(g, seed=1, level=0)
+        coarse, cmap = contract(g, match)
+        assert coarse.total_vertex_weight() == g.total_vertex_weight()
+        assert coarse.n < g.n
+
+    def test_contract_cmap_is_onto(self):
+        g = clustered()
+        match = heavy_edge_matching(g, seed=1, level=0)
+        coarse, cmap = contract(g, match)
+        assert set(cmap.tolist()) == set(range(coarse.n))
+
+    def test_coarsen_reaches_target(self):
+        g = clustered()
+        levels = coarsen(g, target_n=40, seed=1)
+        assert levels[-1][0].n <= max(40, g.n)
+        assert levels[-1][0].n < g.n
+
+
+class TestInitialPartition:
+    def test_covers_all_vertices(self):
+        g = clustered()
+        assignment = greedy_growing(g, 4, seed=2)
+        assert (assignment >= 0).all() and (assignment < 4).all()
+
+    def test_k1(self):
+        g = clustered()
+        assert (greedy_growing(g, 1, seed=0) == 0).all()
+
+    def test_reasonable_balance(self):
+        g = clustered()
+        assignment = greedy_growing(g, 4, seed=2)
+        weights = part_weights(g, assignment, 4)
+        assert weights.max() <= 1.7 * g.total_vertex_weight() / 4
+
+
+class TestKWay:
+    def test_finds_cluster_structure(self):
+        g = clustered(inter=6)
+        report = MultilevelPartitioner(k=4, seed=3).partition(g)
+        # Cross-cluster edges are the only ones worth cutting: the cut must
+        # be in their order of magnitude, far below intra-cluster counts.
+        assert report.edge_cut <= 12
+        assert report.balance <= 1.1
+
+    def test_balance_constraint_respected(self):
+        g = clustered()
+        report = MultilevelPartitioner(k=4, seed=3, balance_factor=1.05).partition(g)
+        assert report.balance <= 1.15  # small slack: integer vertex moves
+
+    def test_deterministic_under_seed(self):
+        g = clustered()
+        a = MultilevelPartitioner(k=4, seed=5).partition(g)
+        b = MultilevelPartitioner(k=4, seed=5).partition(g)
+        assert (a.assignment == b.assignment).all()
+
+    def test_k1_everything_together(self):
+        g = clustered()
+        report = MultilevelPartitioner(k=1, seed=0).partition(g)
+        assert report.edge_cut == 0
+        assert (report.assignment == 0).all()
+
+    def test_k_greater_than_n(self):
+        g = CSRGraph.from_edges(3, np.array([[0, 1], [1, 2]]))
+        report = MultilevelPartitioner(k=5, seed=0).partition(g)
+        assert len(set(report.assignment.tolist())) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(k=0)
+
+    def test_beats_random_assignment(self):
+        g = clustered()
+        report = MultilevelPartitioner(k=4, seed=1).partition(g)
+        rng = rng_for(9, "random-baseline")
+        random_assignment = np.asarray(
+            [rng.randrange(4) for _ in range(g.n)], dtype=np.int64
+        )
+        assert report.edge_cut < edge_cut(g, random_assignment) / 3
+
+    def test_agreement_with_networkx_components(self):
+        """Two disconnected cliques at k=2 must be split exactly along the
+        component boundary (cut 0) — verified against networkx."""
+        edges = []
+        for base in (0, 10):
+            for i in range(10):
+                for j in range(i + 1, 10):
+                    edges.append((base + i, base + j))
+        g = CSRGraph.from_edges(20, np.asarray(edges))
+        report = MultilevelPartitioner(k=2, seed=0).partition(g)
+        assert report.edge_cut == 0
+        nxg = nx.Graph(edges)
+        components = list(nx.connected_components(nxg))
+        for comp in components:
+            assert len({int(report.assignment[v]) for v in comp}) == 1
+
+
+class TestQualityMetrics:
+    def test_edge_cut_counts_weights(self):
+        g = CSRGraph.from_edges(
+            3, np.array([[0, 1], [1, 2]]), edge_weights=np.array([5, 7])
+        )
+        assert edge_cut(g, np.array([0, 0, 1])) == 7
+        assert edge_cut(g, np.array([0, 1, 0])) == 12
+
+    def test_balance_perfect(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        assert balance(g, np.array([0, 0, 1, 1]), 2) == 1.0
+
+    def test_partition_graph_convenience(self):
+        report = partition_graph(4, np.array([[0, 1], [2, 3]]), k=2, seed=0)
+        assert report.balance == 1.0

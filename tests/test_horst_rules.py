@@ -1,0 +1,73 @@
+"""Unit tests for the OWL-Horst rule templates."""
+
+from repro.datalog.analysis import JoinClass, classify_rule
+from repro.owl.rules_horst import (
+    HORST_TEMPLATES,
+    RDFP11,
+    RDFP11_SPLIT,
+    SCHEMA_RULES,
+    horst_raw_rules,
+)
+
+
+class TestTemplateShapes:
+    def test_all_templates_have_rules(self):
+        assert len(HORST_TEMPLATES) >= 14
+
+    def test_schema_positions_in_range(self):
+        for t in HORST_TEMPLATES:
+            for pos in t.schema_positions:
+                assert 0 <= pos < t.rule.arity
+
+    def test_instance_body_excludes_schema_atoms(self):
+        for t in HORST_TEMPLATES:
+            assert len(t.instance_body()) == t.rule.arity - len(t.schema_positions)
+
+    def test_residual_arity_at_most_two(self):
+        # After schema binding, every instance rule is zero- or single-join
+        # (the paper's Section II claim).
+        for t in HORST_TEMPLATES:
+            assert len(t.instance_body()) in (1, 2), t.name
+
+    def test_known_names_present(self):
+        names = {t.name for t in HORST_TEMPLATES}
+        for expected in ("rdfs2", "rdfs9", "rdfp4", "rdfp15", "rdfp16",
+                         "rdfp6", "rdfp7"):
+            assert expected in names
+
+    def test_rdfp11_is_the_multi_join_exception(self):
+        assert classify_rule(RDFP11.rule) is JoinClass.MULTI_JOIN
+
+    def test_rdfp11_split_is_single_join(self):
+        for t in RDFP11_SPLIT:
+            assert classify_rule(t.rule) is JoinClass.SINGLE_JOIN
+
+
+class TestSchemaRules:
+    def test_hierarchy_transitivity_present(self):
+        names = {r.name for r in SCHEMA_RULES}
+        assert {"rdfs5", "rdfs11"} <= names
+
+    def test_equivalence_bridges_present(self):
+        names = {r.name for r in SCHEMA_RULES}
+        assert {"rdfp12a", "rdfp12b", "rdfp13a", "rdfp13b"} <= names
+
+
+class TestRawRules:
+    def test_default_includes_faithful_rdfp11(self):
+        names = {r.name for r in horst_raw_rules()}
+        assert "rdfp11" in names
+        assert "rdfp11a" not in names
+
+    def test_split_variant(self):
+        names = {r.name for r in horst_raw_rules(split_sameas=True)}
+        assert {"rdfp11a", "rdfp11b"} <= names
+        assert "rdfp11" not in names
+
+    def test_exclusion(self):
+        names = {r.name for r in horst_raw_rules(include_sameas_propagation=False)}
+        assert "rdfp11" not in names and "rdfp11a" not in names
+
+    def test_unique_names(self):
+        rules = horst_raw_rules()
+        assert len({r.name for r in rules}) == len(rules)

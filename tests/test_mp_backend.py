@@ -1,0 +1,67 @@
+"""End-to-end tests of the real multiprocessing backend (small inputs;
+see the module docstring of repro.parallel.mp_backend for why)."""
+
+import pytest
+
+from repro.owl import HorstReasoner
+from repro.owl.compiler import compile_ontology
+from repro.owl.vocabulary import OWL, RDF
+from repro.parallel.mp_backend import run_multiprocess
+from repro.partitioning import GraphPartitioningPolicy, partition_data, partition_rules
+from repro.rdf import Graph, URI
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+@pytest.fixture
+def tbox():
+    g = Graph()
+    g.add_spo(u("partOf"), RDF.type, OWL.TransitiveProperty)
+    g.add_spo(u("linkedTo"), RDF.type, OWL.SymmetricProperty)
+    return g
+
+
+@pytest.fixture
+def data():
+    g = Graph()
+    for c in range(2):
+        for i in range(6):
+            g.add_spo(u(f"c{c}n{i}"), u("partOf"), u(f"c{c}n{i + 1}"))
+    g.add_spo(u("c0n6"), u("partOf"), u("c1n0"))
+    g.add_spo(u("c0n0"), u("linkedTo"), u("c1n3"))
+    return g
+
+
+@pytest.mark.slow
+def test_multiprocess_data_partitioning_matches_serial(tbox, data):
+    crs = compile_ontology(tbox)
+    serial = HorstReasoner(tbox).materialize(data)
+    dp = partition_data(data, GraphPartitioningPolicy(seed=0), k=2)
+    union = run_multiprocess(
+        dp.partitions,
+        [crs.rules] * 2,
+        "data",
+        owner_table=dict(dp.owner.table),
+    )
+    assert union == serial.graph
+
+
+@pytest.mark.slow
+def test_multiprocess_rule_partitioning_matches_serial(tbox, data):
+    crs = compile_ontology(tbox)
+    serial = HorstReasoner(tbox).materialize(data)
+    rp = partition_rules(crs.rules, k=2, seed=0)
+    union = run_multiprocess(
+        [data, data],
+        rp.rule_sets,
+        "rule",
+        rule_sets=rp.rule_sets,
+    )
+    assert union == serial.graph
+
+
+def test_mismatched_configuration_rejected(data):
+    with pytest.raises(ValueError):
+        run_multiprocess([data, data], [[]], "data", owner_table={})

@@ -1,0 +1,64 @@
+"""Unit tests for Namespace and schema-vocabulary classification."""
+
+import pytest
+
+from repro.owl.vocabulary import OWL, RDF, RDFS, is_schema_triple
+from repro.rdf import Namespace, Triple, URI
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://x.org/ns#")
+        assert ns.Thing == URI("http://x.org/ns#Thing")
+
+    def test_item_access_for_non_identifiers(self):
+        ns = Namespace("http://x.org/ns#")
+        assert ns["sub-class"] == URI("http://x.org/ns#sub-class")
+
+    def test_contains(self):
+        ns = Namespace("http://x.org/ns#")
+        assert ns.Thing in ns
+        assert URI("http://elsewhere/")  not in ns
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_equality_and_hash(self):
+        assert Namespace("a:") == Namespace("a:")
+        assert len({Namespace("a:"), Namespace("a:")}) == 1
+
+    def test_underscore_attributes_raise(self):
+        with pytest.raises(AttributeError):
+            Namespace("a:")._private
+
+    def test_well_known_namespaces(self):
+        assert RDF.type.value.endswith("#type")
+        assert RDFS.subClassOf.value.endswith("#subClassOf")
+        assert OWL.sameAs.value.endswith("#sameAs")
+
+
+class TestSchemaClassification:
+    def test_subclassof_is_schema(self):
+        t = Triple(URI("ex:A"), RDFS.subClassOf, URI("ex:B"))
+        assert is_schema_triple(t)
+
+    def test_instance_type_is_not_schema(self):
+        t = Triple(URI("ex:alice"), RDF.type, URI("ex:Student"))
+        assert not is_schema_triple(t)
+
+    def test_property_characteristic_is_schema(self):
+        t = Triple(URI("ex:p"), RDF.type, OWL.TransitiveProperty)
+        assert is_schema_triple(t)
+
+    def test_restriction_definition_is_schema(self):
+        t = Triple(URI("ex:R"), OWL.onProperty, URI("ex:p"))
+        assert is_schema_triple(t)
+
+    def test_plain_instance_triple_is_not_schema(self):
+        t = Triple(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        assert not is_schema_triple(t)
+
+    def test_vocabulary_subject_is_schema(self):
+        t = Triple(RDFS.subClassOf, URI("ex:anything"), URI("ex:x"))
+        assert is_schema_triple(t)

@@ -1,0 +1,106 @@
+"""Unit tests for N-Triples parsing and serialization, including the
+malformed-input failure paths."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    Literal,
+    NTriplesParseError,
+    Triple,
+    URI,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+    triple_to_ntriples,
+)
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        t = parse_ntriples_line("<ex:a> <ex:p> <ex:b> .")
+        assert t == Triple(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+
+    def test_plain_literal(self):
+        t = parse_ntriples_line('<ex:a> <ex:p> "hello" .')
+        assert t.o == Literal("hello")
+
+    def test_language_literal(self):
+        t = parse_ntriples_line('<ex:a> <ex:p> "bonjour"@fr .')
+        assert t.o == Literal("bonjour", language="fr")
+
+    def test_datatyped_literal(self):
+        t = parse_ntriples_line('<ex:a> <ex:p> "1"^^<ex:int> .')
+        assert t.o == Literal("1", datatype=URI("ex:int"))
+
+    def test_bnode_subject_and_object(self):
+        t = parse_ntriples_line("_:s <ex:p> _:o .")
+        assert t.s == BNode("s")
+        assert t.o == BNode("o")
+
+    def test_escapes(self):
+        t = parse_ntriples_line(r'<ex:a> <ex:p> "tab\there\nnl \"q\" \\ done" .')
+        assert t.o.lexical == 'tab\there\nnl "q" \\ done'
+
+    def test_unicode_escape(self):
+        t = parse_ntriples_line(r'<ex:a> <ex:p> "é\U0001F600" .')
+        assert t.o.lexical == "é\U0001F600"
+
+    def test_blank_lines_and_comments_skipped(self):
+        doc = "\n# a comment\n<ex:a> <ex:p> <ex:b> .\n\n"
+        assert len(list(parse_ntriples(doc))) == 1
+
+    def test_extra_whitespace_tolerated(self):
+        t = parse_ntriples_line("  <ex:a>   <ex:p>\t<ex:b>   .  ")
+        assert t is not None
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<ex:a> <ex:p> <ex:b>",  # missing dot
+            "<ex:a> <ex:p> .",  # missing object
+            "<ex:a <ex:p> <ex:b> .",  # unterminated IRI
+            '<ex:a> <ex:p> "open .',  # unterminated literal
+            "<ex:a> <ex:p> <ex:b> . trailing",  # junk after dot
+            '"lit" <ex:p> <ex:b> .',  # literal subject
+            "<ex:a> _:b <ex:c> .",  # bnode predicate
+            r'<ex:a> <ex:p> "\q" .',  # unknown escape
+            r'<ex:a> <ex:p> "\u12" .',  # truncated \u
+            "<ex:a> <ex:p> <ex b> .",  # space inside IRI
+            "_: <ex:p> <ex:b> .",  # empty bnode label
+            '<ex:a> <ex:p> "x"@ .',  # empty language tag
+        ],
+    )
+    def test_raises_parse_error(self, line):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples_line(line)
+
+    def test_error_carries_line_number(self):
+        doc = "<ex:a> <ex:p> <ex:b> .\nBROKEN\n"
+        with pytest.raises(NTriplesParseError, match="line 2"):
+            list(parse_ntriples(doc))
+
+
+class TestRoundTrip:
+    def test_graph_round_trip(self):
+        g = Graph()
+        g.add_spo(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        g.add_spo(URI("ex:a"), URI("ex:p"), Literal('with "quotes"\n'))
+        g.add_spo(BNode("n1"), URI("ex:p"), Literal("x", language="en"))
+        g.add_spo(URI("ex:a"), URI("ex:p"), Literal("1", datatype=URI("ex:int")))
+        doc = serialize_ntriples(g)
+        assert Graph(parse_ntriples(doc)) == g
+
+    def test_sorted_serialization_is_canonical(self):
+        t1 = Triple(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        t2 = Triple(URI("ex:c"), URI("ex:p"), URI("ex:d"))
+        assert serialize_ntriples([t1, t2], sort=True) == serialize_ntriples(
+            [t2, t1], sort=True
+        )
+
+    def test_single_triple_form(self):
+        t = Triple(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        assert triple_to_ntriples(t) == "<ex:a> <ex:p> <ex:b> ."

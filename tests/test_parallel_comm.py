@@ -1,0 +1,170 @@
+"""Unit tests for messages, communication backends, and routers."""
+
+import pytest
+
+from repro.datalog import parse_rules
+from repro.owl.vocabulary import RDF
+from repro.parallel import (
+    BroadcastRouter,
+    DataPartitionRouter,
+    FileComm,
+    InMemoryComm,
+    RulePartitionRouter,
+    TupleBatch,
+)
+from repro.partitioning.base import TableOwner
+from repro.rdf import Graph, Literal, Triple, URI
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+def batch(sender=0, dest=1, round_no=0, n=3):
+    triples = [Triple(u(f"s{i}"), u("p"), u(f"o{i}")) for i in range(n)]
+    return TupleBatch.make(sender, dest, round_no, triples)
+
+
+class TestTupleBatch:
+    def test_len(self):
+        assert len(batch(n=5)) == 5
+
+    def test_payload_bytes_matches_serialization(self):
+        b = batch()
+        assert b.payload_bytes() == len(b.serialize())
+
+    def test_serialize_parse_round_trip(self):
+        from repro.rdf import parse_ntriples
+
+        b = batch()
+        assert set(parse_ntriples(b.serialize())) == set(b.triples)
+
+
+class TestInMemoryComm:
+    def test_send_recv(self):
+        comm = InMemoryComm(2)
+        comm.send(batch(dest=1))
+        received = comm.recv_all(1)
+        assert len(received) == 1
+        assert comm.recv_all(1) == []
+
+    def test_pending_tracks_in_transit(self):
+        comm = InMemoryComm(3)
+        comm.send(batch(dest=1))
+        comm.send(batch(dest=2))
+        assert comm.pending() == 2
+        comm.recv_all(1)
+        assert comm.pending() == 1
+
+    def test_stats_accounting(self):
+        comm = InMemoryComm(2)
+        b = batch(dest=1)
+        comm.send(b)
+        assert comm.stats.messages == 1
+        assert comm.stats.tuples == 3
+        assert comm.stats.payload_bytes == b.payload_bytes()
+        assert comm.stats.sent_bytes[0] == b.payload_bytes()
+        assert comm.stats.received_bytes[1] == b.payload_bytes()
+
+    def test_destination_out_of_range(self):
+        with pytest.raises(ValueError):
+            InMemoryComm(2).send(batch(dest=5))
+
+
+class TestFileComm:
+    def test_send_recv_round_trip(self, tmp_path):
+        comm = FileComm(2, tmp_path)
+        sent = batch(dest=1)
+        comm.send(sent)
+        assert comm.pending() == 1
+        received = comm.recv_all(1)
+        assert len(received) == 1
+        assert set(received[0].triples) == set(sent.triples)
+        assert received[0].sender == 0
+        assert received[0].round_no == 0
+        assert comm.pending() == 0
+
+    def test_only_destination_receives(self, tmp_path):
+        comm = FileComm(3, tmp_path)
+        comm.send(batch(dest=1))
+        comm.send(batch(dest=2))
+        assert len(comm.recv_all(1)) == 1
+        assert len(comm.recv_all(2)) == 1
+        assert comm.recv_all(0) == []
+
+    def test_files_deleted_on_receipt(self, tmp_path):
+        comm = FileComm(2, tmp_path)
+        comm.send(batch(dest=1))
+        comm.recv_all(1)
+        assert list(tmp_path.glob("*.nt")) == []
+
+    def test_literals_survive_file_transport(self, tmp_path):
+        comm = FileComm(2, tmp_path)
+        triples = [Triple(u("a"), u("p"), Literal('tricky "str"\n', language=None))]
+        comm.send(TupleBatch.make(0, 1, 0, triples))
+        received = comm.recv_all(1)
+        assert list(received[0].triples) == triples
+
+
+class TestDataPartitionRouter:
+    def test_routes_to_owner_of_both_ends(self):
+        owner = TableOwner(3, {u("a"): 0, u("b"): 2})
+        router = DataPartitionRouter(owner)
+        dests = router.destinations(1, Triple(u("a"), u("p"), u("b")))
+        assert dests == [0, 2]
+
+    def test_excludes_self(self):
+        owner = TableOwner(3, {u("a"): 0, u("b"): 2})
+        router = DataPartitionRouter(owner)
+        assert router.destinations(0, Triple(u("a"), u("p"), u("b"))) == [2]
+
+    def test_literal_objects_not_routed(self):
+        owner = TableOwner(2, {u("a"): 0})
+        router = DataPartitionRouter(owner)
+        assert router.destinations(0, Triple(u("a"), u("p"), Literal("x"))) == []
+
+    def test_vocabulary_objects_not_routed(self):
+        owner = TableOwner(4, {u("a"): 0})
+        router = DataPartitionRouter(owner, vocabulary=frozenset({u("Student")}))
+        dests = router.destinations(0, Triple(u("a"), RDF.type, u("Student")))
+        assert dests == []
+
+
+class TestRulePartitionRouter:
+    @pytest.fixture
+    def rule_sets(self):
+        rules = parse_rules(
+            "@prefix ex: <ex:>\n"
+            "[r0: (?a ex:p ?b) -> (?a ex:q ?b)]"
+            "[r1: (?a ex:q ?b) -> (?a ex:r ?b)]"
+        )
+        return [[rules[0]], [rules[1]]]
+
+    def test_routes_to_consuming_partition(self, rule_sets):
+        router = RulePartitionRouter(rule_sets)
+        t = Triple(u("x"), u("q"), u("y"))
+        assert router.destinations(0, t) == [1]
+
+    def test_no_match_no_destinations(self, rule_sets):
+        router = RulePartitionRouter(rule_sets)
+        t = Triple(u("x"), u("unrelated"), u("y"))
+        assert router.destinations(0, t) == []
+
+    def test_wildcard_predicate_bodies_match_everything(self):
+        rules = parse_rules(
+            "@prefix ex: <ex:>\n[w: (?a ?p ?b) (?b ?p ?c) -> (?a ?p ?c)]"
+        )
+        router = RulePartitionRouter([[], [rules[0]]])
+        t = Triple(u("x"), u("whatever"), u("y"))
+        assert router.destinations(0, t) == [1]
+
+
+class TestBroadcastRouter:
+    def test_everyone_but_self(self):
+        router = BroadcastRouter(4)
+        t = Triple(u("a"), u("p"), u("b"))
+        assert router.destinations(2, t) == [0, 1, 3]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BroadcastRouter(0)

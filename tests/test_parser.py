@@ -1,0 +1,114 @@
+"""Unit tests for the rule-text parser."""
+
+import pytest
+
+from repro.datalog import RuleParseError, parse_rule, parse_rules
+from repro.rdf import Literal, URI
+from repro.rdf.terms import BNode, Variable
+
+PREFIX = "@prefix ex: <http://x.org/>\n"
+
+
+class TestBasics:
+    def test_single_rule(self):
+        r = parse_rule(PREFIX + "[t: (?a ex:p ?b) -> (?b ex:p ?a)]")
+        assert r.name == "t"
+        assert r.arity == 1
+        assert r.body[0].p == URI("http://x.org/p")
+
+    def test_two_body_atoms(self):
+        r = parse_rule(
+            PREFIX + "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]"
+        )
+        assert r.arity == 2
+
+    def test_multiple_rules(self):
+        rules = parse_rules(
+            PREFIX + "[r1: (?a ex:p ?b) -> (?b ex:p ?a)]"
+            "[r2: (?a ex:q ?b) -> (?b ex:q ?a)]"
+        )
+        assert [r.name for r in rules] == ["r1", "r2"]
+
+    def test_multi_head_expansion(self):
+        rules = parse_rules(
+            PREFIX + "[r: (?a ex:p ?b) -> (?b ex:p ?a) (?a ex:q ?b)]"
+        )
+        assert [r.name for r in rules] == ["r", "r.2"]
+        assert all(r.body == rules[0].body for r in rules)
+
+    def test_comments_ignored(self):
+        rules = parse_rules(
+            PREFIX + "# header\n[t: (?a ex:p ?b) -> (?b ex:p ?a)] # trailing"
+        )
+        assert len(rules) == 1
+
+    def test_empty_document(self):
+        assert parse_rules("") == []
+
+
+class TestTermForms:
+    def test_absolute_iri(self):
+        r = parse_rule("[t: (?a <http://y.org/p> ?b) -> (?b <http://y.org/p> ?a)]")
+        assert r.body[0].p == URI("http://y.org/p")
+
+    def test_plain_literal(self):
+        r = parse_rule(PREFIX + '[t: (?a ex:p "on") -> (?a ex:q "on")]')
+        assert r.body[0].o == Literal("on")
+
+    def test_literal_with_escapes(self):
+        r = parse_rule(PREFIX + r'[t: (?a ex:p "a\"b\nc") -> (?a ex:q ?a)]')
+        assert r.body[0].o == Literal('a"b\nc')
+
+    def test_datatyped_literal(self):
+        r = parse_rule(
+            PREFIX + '[t: (?a ex:p "1"^^<http://x.org/int>) -> (?a ex:q ?a)]'
+        )
+        assert r.body[0].o == Literal("1", datatype=URI("http://x.org/int"))
+
+    def test_language_literal(self):
+        r = parse_rule(PREFIX + '[t: (?a ex:p "hi"@en) -> (?a ex:q ?a)]')
+        assert r.body[0].o == Literal("hi", language="en")
+
+    def test_bnode(self):
+        r = parse_rule(PREFIX + "[t: (_:n1 ex:p ?b) -> (?b ex:q ?b)]")
+        assert r.body[0].s == BNode("n1")
+
+    def test_variable(self):
+        r = parse_rule(PREFIX + "[t: (?subject ex:p ?b) -> (?b ex:q ?b)]")
+        assert Variable("subject") in r.body[0].variables()
+
+    def test_external_prefixes_parameter(self):
+        r = parse_rule(
+            "[t: (?a zz:p ?b) -> (?b zz:p ?a)]", prefixes={"zz": "http://z.org/"}
+        )
+        assert r.body[0].p == URI("http://z.org/p")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("[t: (?a ex:p ?b) -> (?b ex:p ?a)]", "unknown prefix"),
+            (PREFIX + "[t: -> (?a ex:p ?a)]", None),  # empty body -> Rule error
+            (PREFIX + "[t: (?a ex:p ?b) ->]", "no head"),
+            (PREFIX + "[t: (?a ex:p ?b) -> (?b ex:p ?a)", "missing closing"),
+            (PREFIX + "[t (?a ex:p ?b) -> (?b ex:p ?a)]", "expected"),
+            (PREFIX + "[t: (?a ex:p) -> (?a ex:p ?a)]", None),
+            ("junk", "expected"),
+            (PREFIX + "[t: (?a bare ?b) -> (?a ex:p ?b)]", "bare name"),
+        ],
+    )
+    def test_malformed(self, text, match):
+        with pytest.raises((RuleParseError, ValueError), match=match):
+            parse_rules(text)
+
+    def test_parse_rule_rejects_multiple(self):
+        with pytest.raises(RuleParseError, match="exactly one"):
+            parse_rule(
+                PREFIX + "[a: (?x ex:p ?y) -> (?y ex:p ?x)]"
+                "[b: (?x ex:q ?y) -> (?y ex:q ?x)]"
+            )
+
+    def test_unsafe_rule_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            parse_rule(PREFIX + "[t: (?a ex:p ?b) -> (?a ex:p ?c)]")

@@ -1,0 +1,238 @@
+"""Unit tests for Algorithm 1 (data partitioning), its policies, the owner
+functions, and the Section III metrics."""
+
+import pytest
+
+from repro.owl.vocabulary import RDF, RDFS
+from repro.partitioning import (
+    DomainPartitioningPolicy,
+    GraphPartitioningPolicy,
+    HashOwner,
+    HashPartitioningPolicy,
+    TableOwner,
+    compute_data_metrics,
+    output_replication,
+    partition_data,
+)
+from repro.partitioning.data_generic import default_vocabulary
+from repro.partitioning.policies import uri_prefix_grouper
+from repro.rdf import Graph, Literal, Triple, URI
+from repro.util.seeding import rng_for
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+def clustered_graph(clusters=4, size=40, seed=0):
+    """Cluster-structured instance data with URI layout Cluster<i>/e<j>."""
+    rng = rng_for(seed, "test-part")
+    g = Graph()
+    for c in range(clusters):
+        for i in range(size):
+            g.add_spo(
+                URI(f"http://Cluster{c}.org/e{i}"),
+                u("rel"),
+                URI(f"http://Cluster{c}.org/e{rng.randrange(size)}"),
+            )
+    for _ in range(4):
+        a, b = rng.randrange(clusters), rng.randrange(clusters)
+        g.add_spo(URI(f"http://Cluster{a}.org/e0"), u("rel"),
+                  URI(f"http://Cluster{b}.org/e1"))
+    return g
+
+
+class TestOwnerFunctions:
+    def test_table_owner_lookup(self):
+        owner = TableOwner(2, {u("a"): 1})
+        assert owner(u("a")) == 1
+
+    def test_table_owner_fallback_is_deterministic(self):
+        o1 = TableOwner(4, {})
+        o2 = TableOwner(4, {})
+        assert o1(u("unknown")) == o2(u("unknown"))
+
+    def test_table_owner_validates_range(self):
+        with pytest.raises(ValueError):
+            TableOwner(2, {u("a"): 5})
+
+    def test_hash_owner_stable_and_in_range(self):
+        owner = HashOwner(8)
+        values = [owner(u(f"r{i}")) for i in range(100)]
+        assert all(0 <= v < 8 for v in values)
+        assert values == [HashOwner(8)(u(f"r{i}")) for i in range(100)]
+
+    def test_hash_owner_salt_changes_assignment(self):
+        a, b = HashOwner(16, salt=0), HashOwner(16, salt=1)
+        diffs = sum(a(u(f"r{i}")) != b(u(f"r{i}")) for i in range(64))
+        assert diffs > 16
+
+    def test_hash_owner_spreads(self):
+        owner = HashOwner(4)
+        buckets = [0] * 4
+        for i in range(400):
+            buckets[owner(u(f"node{i}"))] += 1
+        assert min(buckets) > 50
+
+
+class TestAlgorithm1:
+    def test_every_triple_placed(self):
+        g = clustered_graph()
+        result = partition_data(g, HashPartitioningPolicy(), k=4)
+        union = Graph()
+        for p in result.partitions:
+            union.update(iter(p))
+        assert union == g
+
+    def test_placement_on_owner_of_subject_and_object(self):
+        g = clustered_graph()
+        result = partition_data(g, HashPartitioningPolicy(), k=4)
+        owner = result.owner
+        for t in g:
+            assert t in result.partitions[owner(t.s)]
+            if t.o not in result.vocabulary and not t.o.is_literal:
+                assert t in result.partitions[owner(t.o)]
+
+    def test_at_most_two_copies(self):
+        g = clustered_graph()
+        result = partition_data(g, HashPartitioningPolicy(), k=4)
+        for t in g:
+            copies = sum(t in p for p in result.partitions)
+            assert 1 <= copies <= 2
+
+    def test_schema_stripped(self):
+        g = clustered_graph()
+        g.add_spo(u("A"), RDFS.subClassOf, u("B"))
+        result = partition_data(g, HashPartitioningPolicy(), k=2)
+        assert len(result.schema) == 1
+        for p in result.partitions:
+            assert Triple(u("A"), RDFS.subClassOf, u("B")) not in p
+
+    def test_literal_objects_not_placement_targets(self):
+        g = Graph([Triple(u("a"), u("p"), Literal("x"))])
+        result = partition_data(g, HashPartitioningPolicy(), k=4)
+        copies = sum(
+            Triple(u("a"), u("p"), Literal("x")) in p for p in result.partitions
+        )
+        assert copies == 1
+
+    def test_join_candidates_colocated(self):
+        """The correctness invariant: two triples sharing a resource as
+        subject/object must share a partition (on that resource's owner)."""
+        g = clustered_graph()
+        result = partition_data(g, GraphPartitioningPolicy(seed=0), k=4)
+        owner = result.owner
+        by_resource: dict = {}
+        for t in g:
+            for r in (t.s, t.o):
+                if r.is_literal or r in result.vocabulary:
+                    continue
+                by_resource.setdefault(r, []).append(t)
+        for resource, triples in by_resource.items():
+            home = owner(resource)
+            for t in triples:
+                assert t in result.partitions[home]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            partition_data(Graph(), HashPartitioningPolicy(), k=0)
+
+
+class TestVocabulary:
+    def test_type_objects_are_vocabulary(self):
+        g = Graph()
+        g.add_spo(u("alice"), RDF.type, u("Student"))
+        assert default_vocabulary(g) == {u("Student")}
+
+    def test_term_used_as_subject_is_not_vocabulary(self):
+        g = Graph()
+        g.add_spo(u("alice"), RDF.type, u("Student"))
+        g.add_spo(u("Student"), u("popularity"), u("high"))
+        assert default_vocabulary(g) == set()
+
+    def test_type_triples_single_copy(self):
+        g = Graph()
+        for i in range(20):
+            g.add_spo(u(f"s{i}"), RDF.type, u("Student"))
+        result = partition_data(g, HashPartitioningPolicy(), k=4)
+        for t in g:
+            assert sum(t in p for p in result.partitions) == 1
+
+
+class TestPolicies:
+    def test_graph_policy_separates_clusters(self):
+        g = clustered_graph()
+        result = partition_data(g, GraphPartitioningPolicy(seed=0), k=4)
+        metrics = compute_data_metrics(result, g)
+        assert metrics.duplication < 0.25
+
+    def test_hash_policy_replicates_heavily(self):
+        g = clustered_graph()
+        hash_m = compute_data_metrics(
+            partition_data(g, HashPartitioningPolicy(), k=4), g
+        )
+        graph_m = compute_data_metrics(
+            partition_data(g, GraphPartitioningPolicy(seed=0), k=4), g
+        )
+        assert hash_m.duplication > 3 * graph_m.duplication
+
+    def test_domain_policy_groups_by_key(self):
+        g = clustered_graph()
+        policy = DomainPartitioningPolicy(uri_prefix_grouper(r"Cluster\d+"))
+        result = partition_data(g, policy, k=4)
+        metrics = compute_data_metrics(result, g)
+        assert metrics.duplication < 0.15
+
+    def test_domain_policy_balances_groups(self):
+        g = clustered_graph(clusters=8, size=20)
+        policy = DomainPartitioningPolicy(uri_prefix_grouper(r"Cluster\d+"))
+        result = partition_data(g, policy, k=4)
+        nodes = result.nodes_per_partition
+        assert max(nodes) <= 2 * min(nodes)
+
+    def test_domain_policy_ungrouped_fall_back_to_hash(self):
+        policy = DomainPartitioningPolicy(lambda term: None)
+        g = clustered_graph(clusters=1, size=30)
+        result = partition_data(g, policy, k=3)
+        assert sum(len(p) for p in result.partitions) >= len(g)
+
+    def test_uri_prefix_grouper(self):
+        grouper = uri_prefix_grouper(r"University\d+")
+        assert grouper(URI("http://www.University7.edu/x")) == "University7"
+        assert grouper(URI("http://elsewhere.org/x")) is None
+        assert grouper(Literal("x")) is None
+
+
+class TestMetrics:
+    def test_bal_zero_for_equal_partitions(self):
+        from repro.partitioning.metrics import _stddev
+
+        assert _stddev([10, 10, 10]) == 0.0
+        assert _stddev([]) == 0.0
+        assert _stddev([0, 10]) == 5.0
+
+    def test_ir_one_means_no_replication(self):
+        g = Graph()
+        g.add_spo(URI("http://Cluster0.org/a"), u("p"), URI("http://Cluster0.org/b"))
+        g.add_spo(URI("http://Cluster1.org/c"), u("p"), URI("http://Cluster1.org/d"))
+        policy = DomainPartitioningPolicy(uri_prefix_grouper(r"Cluster\d+"))
+        metrics = compute_data_metrics(partition_data(g, policy, k=2), g)
+        assert metrics.input_replication == 1.0
+
+    def test_output_replication(self):
+        g1 = Graph([Triple(u("a"), u("p"), u("b"))])
+        g2 = Graph([Triple(u("a"), u("p"), u("b")),
+                    Triple(u("c"), u("p"), u("d"))])
+        # 3 tuples held across nodes, 2 distinct.
+        assert output_replication([g1, g2]) == pytest.approx(1.5)
+
+    def test_output_replication_empty(self):
+        assert output_replication([Graph(), Graph()]) == 1.0
+
+    def test_table_row_shape(self):
+        g = clustered_graph()
+        metrics = compute_data_metrics(
+            partition_data(g, HashPartitioningPolicy(), k=2), g
+        )
+        row = metrics.row()
+        assert row[0] == "hash" and row[1] == 2

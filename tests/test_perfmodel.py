@@ -1,0 +1,86 @@
+"""Unit tests for the cubic performance model (Figs 3/4 machinery)."""
+
+import pytest
+
+from repro.perfmodel import (
+    CubicModel,
+    PerformancePoint,
+    fit_cubic,
+    sweep_serial_times,
+    theoretical_max_speedup,
+)
+from repro.rdf import Graph, URI
+
+
+def points_from(fn, sizes=(1, 2, 3, 4, 5, 8)):
+    return [PerformancePoint(size=s, time=fn(s)) for s in sizes]
+
+
+class TestFitCubic:
+    def test_recovers_exact_cubic(self):
+        model = fit_cubic(points_from(lambda n: 3 * n**3 + 2 * n**2 + n + 7))
+        c3, c2, c1, c0 = model.coefficients
+        assert c3 == pytest.approx(3, abs=1e-6)
+        assert c2 == pytest.approx(2, abs=1e-5)
+        assert c1 == pytest.approx(1, abs=1e-4)
+        assert c0 == pytest.approx(7, abs=1e-4)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_linear_data_gets_zero_leading_coefficient(self):
+        model = fit_cubic(points_from(lambda n: 5 * n))
+        assert abs(model.leading_coefficient) < 1e-6
+
+    def test_noisy_data_r_squared_below_one(self):
+        pts = points_from(lambda n: n**2 + (n % 2) * 3)
+        model = fit_cubic(pts)
+        assert 0.9 < model.r_squared < 1.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cubic(points_from(lambda n: n, sizes=(1, 2, 3)))
+
+    def test_model_is_callable(self):
+        model = CubicModel(coefficients=(1, 0, 0, 0), r_squared=1.0)
+        assert model(2) == 8
+
+    def test_describe_mentions_r_squared(self):
+        model = fit_cubic(points_from(lambda n: n**3))
+        assert "R²" in model.describe()
+
+
+class TestTheoreticalMaxSpeedup:
+    def test_linear_model_gives_linear_speedup(self):
+        model = CubicModel(coefficients=(0, 0, 2, 0), r_squared=1.0)
+        assert theoretical_max_speedup(model, 1000, 4) == pytest.approx(4)
+
+    def test_cubic_model_gives_superlinear_speedup(self):
+        model = CubicModel(coefficients=(1e-6, 0, 0, 0), r_squared=1.0)
+        assert theoretical_max_speedup(model, 1000, 4) == pytest.approx(64)
+
+    def test_quadratic_plus_linear_between(self):
+        model = CubicModel(coefficients=(0, 1, 1000, 0), r_squared=1.0)
+        s = theoretical_max_speedup(model, 1000, 4)
+        assert 4 < s < 16
+
+    def test_k1_is_unity(self):
+        model = CubicModel(coefficients=(1, 1, 1, 1), r_squared=1.0)
+        assert theoretical_max_speedup(model, 100, 1) == pytest.approx(1)
+
+    def test_invalid_k(self):
+        model = CubicModel(coefficients=(1, 0, 0, 0), r_squared=1.0)
+        with pytest.raises(ValueError):
+            theoretical_max_speedup(model, 100, 0)
+
+
+class TestSweep:
+    def test_sweep_uses_node_counts(self):
+        def build(size):
+            g = Graph()
+            for i in range(size):
+                g.add_spo(URI(f"ex:{size}-{i}"), URI("ex:p"), URI(f"ex:{size}-{i + 1}"))
+            return g, lambda: float(size) * 2
+
+        points = sweep_serial_times((2, 4), build)
+        assert len(points) == 2
+        assert points[0].size == 3  # size-2 chain has 3 nodes
+        assert points[1].time == 8.0

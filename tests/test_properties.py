@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The properties are the ones DESIGN.md commits to:
+
+* store index coherence under arbitrary add/discard sequences;
+* N-Triples round-tripping for arbitrary term content;
+* partition placement invariants (owners, copy counts, join co-location);
+* the headline correctness claim — parallel closure == serial closure —
+  over random graphs and random single-join rule sets;
+* forward/backward engine agreement.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import NaiveEngine, SemiNaiveEngine
+from repro.datalog.ast import Atom, Rule
+from repro.datalog.backward import materialize_backward
+from repro.owl.vocabulary import OWL, RDF
+from repro.parallel import ParallelReasoner
+from repro.partitioning import HashPartitioningPolicy, partition_data
+from repro.rdf import (
+    Graph,
+    Literal,
+    Triple,
+    URI,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.terms import Variable
+
+# --- strategies -------------------------------------------------------------
+
+_name = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1,
+                max_size=6)
+
+uris = st.builds(lambda s: URI("ex:" + s), _name)
+predicates = st.builds(lambda s: URI("p:" + s),
+                       st.sampled_from(["p", "q", "r", "s"]))
+literals = st.builds(
+    Literal,
+    st.text(min_size=0, max_size=12),
+    datatype=st.none() | st.just(URI("ex:dt")),
+)
+objects = uris | literals
+triples = st.builds(Triple, uris, predicates, objects)
+graphs = st.builds(Graph, st.lists(triples, max_size=40))
+
+# Small vocabulary so random graphs actually join.
+_small_nodes = st.builds(lambda i: URI(f"n:{i}"), st.integers(0, 12))
+small_triples = st.builds(Triple, _small_nodes, predicates, _small_nodes)
+small_graphs = st.builds(Graph, st.lists(small_triples, max_size=30))
+
+
+@st.composite
+def single_join_rules(draw):
+    """A random safe zero-join or single-join rule over the small predicate
+    vocabulary, joining on subject/object positions only."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    p1 = draw(predicates)
+    if draw(st.booleans()):
+        # zero-join: (x p1 y) -> head over {x, y}
+        head_p = draw(predicates)
+        head = draw(st.sampled_from([Atom(x, head_p, y), Atom(y, head_p, x)]))
+        return Rule("zj", [Atom(x, p1, y)], head)
+    p2 = draw(predicates)
+    head_p = draw(predicates)
+    # single-join through y, in one of the subject/object combinations.
+    body = draw(
+        st.sampled_from(
+            [
+                [Atom(x, p1, y), Atom(y, p2, z)],
+                [Atom(x, p1, y), Atom(z, p2, y)],
+                [Atom(y, p1, x), Atom(y, p2, z)],
+            ]
+        )
+    )
+    head = draw(st.sampled_from([Atom(x, head_p, z), Atom(z, head_p, x)]))
+    return Rule("sj", body, head)
+
+
+# --- store properties --------------------------------------------------------
+
+@given(st.lists(triples, max_size=40), st.lists(triples, max_size=20))
+def test_graph_indexes_stay_coherent(to_add, to_discard):
+    g = Graph()
+    for t in to_add:
+        g.add(t)
+    for t in to_discard:
+        g.discard(t)
+    g.check_integrity()
+    survivors = set(to_add) - set(to_discard)
+    assert set(g) == survivors
+
+
+@given(graphs)
+def test_match_agrees_with_scan(g):
+    for t in list(g)[:5]:
+        assert t in set(g.match(t.s, None, None))
+        assert t in set(g.match(None, t.p, None))
+        assert t in set(g.match(None, None, t.o))
+        assert set(g.match(t.s, t.p, t.o)) == {t}
+
+
+@given(graphs)
+def test_ntriples_round_trip(g):
+    assert Graph(parse_ntriples(serialize_ntriples(g))) == g
+
+
+@given(graphs)
+def test_graph_copy_equals_original(g):
+    assert g.copy() == g
+
+
+# --- partitioning properties --------------------------------------------------
+
+@given(small_graphs, st.integers(2, 5))
+@settings(max_examples=40)
+def test_partition_placement_invariants(g, k):
+    result = partition_data(g, HashPartitioningPolicy(), k)
+    union = Graph()
+    for p in result.partitions:
+        union.update(iter(p))
+    # 1. Nothing lost, nothing invented.
+    assert union == g
+    # 2. Each triple on its owners, and on at most two partitions.
+    owner = result.owner
+    for t in g:
+        copies = sum(t in p for p in result.partitions)
+        assert 1 <= copies <= 2
+        assert t in result.partitions[owner(t.s)]
+
+
+@given(small_graphs, st.integers(2, 4))
+@settings(max_examples=40)
+def test_join_candidates_colocated(g, k):
+    """Any two triples sharing a non-vocabulary resource (as s/o) have a
+    common partition — the single-join correctness precondition."""
+    result = partition_data(g, HashPartitioningPolicy(), k)
+    owner = result.owner
+    for t in g:
+        for r in (t.s, t.o):
+            if r.is_literal or r in result.vocabulary:
+                continue
+            assert t in result.partitions[owner(r)]
+
+
+# --- engine properties ---------------------------------------------------------
+
+@given(small_graphs, st.lists(single_join_rules(), min_size=1, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_semi_naive_equals_naive(g, rules):
+    rules = [Rule(f"r{i}", r.body, r.head) for i, r in enumerate(rules)]
+    g1, g2 = g.copy(), g.copy()
+    SemiNaiveEngine(rules).run(g1)
+    NaiveEngine(rules).run(g2)
+    assert g1 == g2
+
+
+@given(small_graphs, st.lists(single_join_rules(), min_size=1, max_size=2))
+@settings(max_examples=15, deadline=None)
+def test_backward_materialization_equals_forward(g, rules):
+    rules = [Rule(f"r{i}", r.body, r.head) for i, r in enumerate(rules)]
+    forward = g.copy()
+    SemiNaiveEngine(rules).run(forward)
+    backward, _ = materialize_backward(g, rules, candidate_probing=False)
+    assert backward == forward
+
+
+# --- the headline property -------------------------------------------------------
+
+@given(small_graphs, st.integers(2, 4), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_parallel_closure_equals_serial(g, k, transitive):
+    """Random instance data + a small ontology, closed serially and in
+    parallel (data partitioning): identical closures."""
+    tbox = Graph()
+    tbox.add_spo(URI("p:p"), RDF.type, OWL.SymmetricProperty)
+    if transitive:
+        tbox.add_spo(URI("p:q"), RDF.type, OWL.TransitiveProperty)
+
+    from repro.owl import HorstReasoner
+
+    serial = HorstReasoner(tbox).materialize(g).graph
+    pr = ParallelReasoner(tbox, k=k, approach="data",
+                          policy=HashPartitioningPolicy())
+    parallel = pr.materialize(g)
+    instance = Graph(t for t in parallel.graph if t not in pr.compiled.schema)
+    assert instance == serial

@@ -1,0 +1,94 @@
+"""Unit tests for the HorstReasoner façade and schema splitting."""
+
+import pytest
+
+from repro.owl import HorstReasoner, split_schema
+from repro.owl.vocabulary import OWL, RDF, RDFS
+from repro.rdf import Graph, Triple, URI
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+class TestSplitSchema:
+    def test_mixed_graph(self, family_tbox, family_data):
+        mixed = family_tbox.union(family_data)
+        schema, instance = split_schema(mixed)
+        assert schema == family_tbox
+        assert instance == family_data
+
+    def test_empty(self):
+        schema, instance = split_schema(Graph())
+        assert len(schema) == 0 and len(instance) == 0
+
+
+class TestHorstReasoner:
+    def test_subclass_inference(self, family_tbox, family_data, ex):
+        result = HorstReasoner(family_tbox).materialize(family_data)
+        assert Triple(ex.alice, RDF.type, ex.Person) in result.graph
+
+    def test_domain_range(self, family_tbox, family_data, ex):
+        result = HorstReasoner(family_tbox).materialize(family_data)
+        assert Triple(ex.alice, RDF.type, ex.Parent) in result.graph
+
+    def test_transitive_via_subproperty(self, family_tbox, family_data, ex):
+        result = HorstReasoner(family_tbox).materialize(family_data)
+        # hasChild < ancestorOf (transitive): alice ancestorOf dave.
+        assert Triple(ex.alice, ex.ancestorOf, ex.dave) in result.graph
+
+    def test_symmetric(self, family_tbox, family_data, ex):
+        result = HorstReasoner(family_tbox).materialize(family_data)
+        assert Triple(ex.albert, ex.marriedTo, ex.alice) in result.graph
+
+    def test_inverse(self, family_tbox, family_data, ex):
+        result = HorstReasoner(family_tbox).materialize(family_data)
+        assert Triple(ex.bob, ex.hasParent, ex.alice) in result.graph
+
+    def test_somevaluesfrom_restriction(self, family_tbox, family_data, ex):
+        result = HorstReasoner(family_tbox).materialize(family_data)
+        assert Triple(ex.alice, RDF.type, ex.DogOwner) in result.graph
+
+    def test_strategies_agree(self, family_tbox, family_data):
+        reasoner = HorstReasoner(family_tbox)
+        fwd = reasoner.materialize(family_data, strategy="forward")
+        bwd = reasoner.materialize(family_data, strategy="backward")
+        assert fwd.graph == bwd.graph
+
+    def test_input_not_mutated(self, family_tbox, family_data):
+        before = len(family_data)
+        HorstReasoner(family_tbox).materialize(family_data)
+        assert len(family_data) == before
+
+    def test_include_schema_adds_tbox(self, family_tbox, family_data):
+        reasoner = HorstReasoner(family_tbox)
+        result = reasoner.materialize(family_data, include_schema=True)
+        assert all(t in result.graph for t in reasoner.compiled.schema)
+
+    def test_unknown_strategy(self, family_tbox, family_data):
+        with pytest.raises(ValueError):
+            HorstReasoner(family_tbox).materialize(family_data, strategy="psychic")
+
+    def test_from_dataset_splits(self, family_tbox, family_data):
+        mixed = family_tbox.union(family_data)
+        reasoner, instance = HorstReasoner.from_dataset(mixed)
+        assert instance == family_data
+        result = reasoner.materialize(instance)
+        assert result.inferred_count > 0
+
+    def test_work_property(self, family_tbox, family_data):
+        reasoner = HorstReasoner(family_tbox)
+        assert reasoner.materialize(family_data, strategy="forward").work > 0
+        assert reasoner.materialize(family_data, strategy="backward").work > 0
+
+    def test_functional_property_produces_sameas(self):
+        tbox = Graph([Triple(u("ssn"), RDF.type, OWL.FunctionalProperty)])
+        data = Graph()
+        data.add_spo(u("x"), u("ssn"), u("id1"))
+        data.add_spo(u("x"), u("ssn"), u("id2"))
+        result = HorstReasoner(tbox).materialize(data)
+        assert Triple(u("id1"), OWL.sameAs, u("id2")) in result.graph
+        # and propagation through the split rdfp11a/b:
+        data.add_spo(u("id1"), u("locatedIn"), u("place"))
+        result = HorstReasoner(tbox).materialize(data)
+        assert Triple(u("id2"), u("locatedIn"), u("place")) in result.graph

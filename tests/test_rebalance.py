@@ -1,0 +1,114 @@
+"""Tests for the dynamic-load-balancing extension."""
+
+import pytest
+
+from repro.datasets import LUBM, MDC
+from repro.owl import HorstReasoner
+from repro.owl.vocabulary import OWL, RDF
+from repro.parallel.rebalance import RebalancingParallelReasoner
+from repro.partitioning.policies import HashPartitioningPolicy
+from repro.rdf import Graph, URI
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+@pytest.fixture
+def tbox():
+    g = Graph()
+    g.add_spo(u("partOf"), RDF.type, OWL.TransitiveProperty)
+    return g
+
+
+def skewed_chains(light=2, heavy=40):
+    """One long chain (heavy closure) plus short ones: a workload where a
+    balanced-by-node-count partitioning is badly work-imbalanced."""
+    g = Graph()
+    for i in range(heavy):
+        g.add_spo(u(f"big{i}"), u("partOf"), u(f"big{i + 1}"))
+    for c in range(4):
+        for i in range(light):
+            g.add_spo(u(f"s{c}_{i}"), u("partOf"), u(f"s{c}_{i + 1}"))
+    return g
+
+
+class TestCorrectness:
+    def test_closure_exact_with_migrations(self, tbox):
+        data = skewed_chains()
+        serial = HorstReasoner(tbox).materialize(data)
+        reasoner = RebalancingParallelReasoner(
+            tbox, k=3, policy=HashPartitioningPolicy(),
+            imbalance_threshold=1.1, migration_fraction=0.5,
+        )
+        result = reasoner.materialize(data)
+        instance = Graph(
+            t for t in result.graph if t not in reasoner.compiled.schema
+        )
+        assert instance == serial.graph
+
+    def test_closure_exact_without_migrations(self, tbox):
+        """threshold=inf disables migration; must still be exact."""
+        data = skewed_chains()
+        serial = HorstReasoner(tbox).materialize(data)
+        reasoner = RebalancingParallelReasoner(
+            tbox, k=3, imbalance_threshold=1e9
+        )
+        result = reasoner.materialize(data)
+        instance = Graph(
+            t for t in result.graph if t not in reasoner.compiled.schema
+        )
+        assert instance == serial.graph
+        assert result.migrations == []
+
+    @pytest.mark.parametrize("dataset", ["lubm", "mdc"])
+    def test_closure_exact_on_benchmarks(self, dataset):
+        ds = (
+            LUBM(2, seed=2, departments_per_university=1,
+                 faculty_per_department=2, students_per_faculty=2)
+            if dataset == "lubm"
+            else MDC(2, seed=2, wells_per_field=2, hierarchy_depth=4)
+        )
+        serial = HorstReasoner(ds.ontology).materialize(ds.data)
+        reasoner = RebalancingParallelReasoner(
+            ds.ontology, k=3, policy=HashPartitioningPolicy(),
+            imbalance_threshold=1.2,
+        )
+        result = reasoner.materialize(ds.data)
+        instance = Graph(
+            t for t in result.graph if t not in reasoner.compiled.schema
+        )
+        assert instance == serial.graph
+
+
+class TestMigrationBehaviour:
+    def test_migrations_happen_under_skew(self, tbox):
+        data = skewed_chains()
+        reasoner = RebalancingParallelReasoner(
+            tbox, k=3, policy=HashPartitioningPolicy(),
+            imbalance_threshold=1.1, migration_fraction=0.5,
+        )
+        result = reasoner.materialize(data)
+        assert result.migrations, "the skewed chain must trigger migration"
+        m = result.migrations[0]
+        assert m.donor != m.receiver
+        assert m.resources
+        assert m.tuples_shipped > 0
+
+    def test_migration_log_rounds_monotone(self, tbox):
+        data = skewed_chains()
+        reasoner = RebalancingParallelReasoner(
+            tbox, k=3, policy=HashPartitioningPolicy(),
+            imbalance_threshold=1.05, migration_fraction=0.3,
+        )
+        result = reasoner.materialize(data)
+        rounds = [m.round_no for m in result.migrations]
+        assert rounds == sorted(rounds)
+
+    def test_parameter_validation(self, tbox):
+        with pytest.raises(ValueError):
+            RebalancingParallelReasoner(tbox, k=0)
+        with pytest.raises(ValueError):
+            RebalancingParallelReasoner(tbox, k=2, imbalance_threshold=0.5)
+        with pytest.raises(ValueError):
+            RebalancingParallelReasoner(tbox, k=2, migration_fraction=0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for Algorithm 2 (rule partitioning)."""
+
+import pytest
+
+from repro.datalog import parse_rules
+from repro.owl.rules_horst import horst_raw_rules
+from repro.partitioning import partition_rules
+from repro.partitioning.rulepart import graph_workload_estimator
+from repro.rdf import Graph, URI
+
+
+def u(name):
+    return URI(f"ex:{name}")
+
+
+class TestPartitionRules:
+    def test_covers_all_rules_exactly_once(self):
+        rules = horst_raw_rules()
+        result = partition_rules(rules, k=3)
+        names = [r.name for subset in result.rule_sets for r in subset]
+        assert sorted(names) == sorted(r.name for r in rules)
+
+    def test_no_empty_partition(self):
+        rules = horst_raw_rules()
+        for k in (2, 3, 4, 5):
+            result = partition_rules(rules, k=k)
+            assert all(subset for subset in result.rule_sets)
+
+    def test_k_exceeding_rule_count_rejected(self):
+        rules = parse_rules(
+            "@prefix ex: <ex:>\n[only: (?a ex:p ?b) -> (?b ex:p ?a)]"
+        )
+        with pytest.raises(ValueError):
+            partition_rules(rules, k=2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            partition_rules(horst_raw_rules(), k=0)
+
+    def test_coupled_rules_kept_together(self):
+        """Strongly coupled producer/consumer pairs should land on the same
+        node; an unrelated pair forms the natural second partition."""
+        rules = parse_rules(
+            "@prefix ex: <ex:>\n"
+            "[p1: (?a ex:a ?b) -> (?a ex:b ?b)]"
+            "[p2: (?a ex:b ?b) -> (?a ex:c ?b)]"
+            "[q1: (?a ex:x ?b) -> (?a ex:y ?b)]"
+            "[q2: (?a ex:y ?b) -> (?a ex:z ?b)]"
+        )
+        result = partition_rules(rules, k=2, seed=1)
+        sets = [sorted(r.name for r in s) for s in result.rule_sets]
+        assert sorted(sets) == [["p1", "p2"], ["q1", "q2"]]
+        assert result.edge_cut == 0
+
+    def test_edge_weighting_changes_cut_priority(self):
+        # One heavy producer/consumer pair, one light; at k=2 with one cut
+        # forced among 3 chained rules, the light edge should be the cut.
+        rules = parse_rules(
+            "@prefix ex: <ex:>\n"
+            "[heavy1: (?a ex:a ?b) -> (?a ex:hot ?b)]"
+            "[heavy2: (?a ex:hot ?b) -> (?a ex:c ?b)]"
+            "[light: (?a ex:c ?b) -> (?a ex:cold ?b)]"
+        )
+        stats = {u("hot"): 1000, u("c"): 1}
+        result = partition_rules(rules, k=2, predicate_stats=stats, seed=0)
+        sets = [sorted(r.name for r in s) for s in result.rule_sets]
+        assert ["heavy1", "heavy2"] in sets
+
+
+class TestWorkloadEstimator:
+    def test_selectivity_uses_ground_positions(self):
+        g = Graph()
+        for i in range(10):
+            g.add_spo(u(f"s{i}"), u("type"), u("Course"))
+        g.add_spo(u("x"), u("type"), u("Rare"))
+        estimator = graph_workload_estimator(g)
+        rules = parse_rules(
+            "@prefix ex: <ex:>\n"
+            "[course: (?s ex:type ex:Course) -> (?s ex:isCourse ex:Course)]"
+            "[rare: (?s ex:type ex:Rare) -> (?s ex:isRare ex:Rare)]"
+        )
+        assert estimator(rules[0]) > estimator(rules[1])
+
+    def test_recursive_rules_weighted_heavier(self):
+        g = Graph()
+        for i in range(10):
+            g.add_spo(u(f"n{i}"), u("p"), u(f"n{i + 1}"))
+            g.add_spo(u(f"n{i}"), u("q"), u(f"n{i + 1}"))
+        estimator = graph_workload_estimator(g)
+        rules = parse_rules(
+            "@prefix ex: <ex:>\n"
+            "[trans: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]"
+            "[flat: (?a ex:q ?b) (?b ex:q ?c) -> (?a ex:flat ?c)]"
+        )
+        assert estimator(rules[0]) > estimator(rules[1])

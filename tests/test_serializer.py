@@ -1,0 +1,76 @@
+"""Tests for rule serialization (parser inverse)."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule, parse_rules
+from repro.datalog.serializer import (
+    HORST_PREFIXES,
+    atom_to_text,
+    rule_to_text,
+    rules_to_document,
+)
+from repro.owl.rules_horst import horst_raw_rules
+from repro.rdf import Literal, URI
+from repro.rdf.terms import BNode, Variable
+
+
+class TestTermRendering:
+    def test_prefixed_when_possible(self):
+        r = parse_rule("@prefix ex: <http://x.org/>\n"
+                       "[t: (?a ex:p ?b) -> (?b ex:p ?a)]")
+        text = rule_to_text(r, {"ex": "http://x.org/"})
+        assert "ex:p" in text and "<http://x.org/p>" not in text
+
+    def test_absolute_when_no_prefix_matches(self):
+        r = parse_rule("@prefix ex: <http://x.org/>\n"
+                       "[t: (?a ex:p ?b) -> (?b ex:p ?a)]")
+        text = rule_to_text(r)
+        assert "<http://x.org/p>" in text
+
+    def test_hyphenated_local_names_allowed(self):
+        from repro.datalog.ast import Atom
+
+        atom = Atom(Variable("a"), URI("http://x.org/sub-prop"), Variable("b"))
+        assert atom_to_text(atom, {"ex": "http://x.org/"}) == "(?a ex:sub-prop ?b)"
+
+    def test_nonidentifier_local_falls_back_to_absolute(self):
+        from repro.datalog.ast import Atom
+
+        atom = Atom(Variable("a"), URI("http://x.org/1bad local"), Variable("b"))
+        assert "<http://x.org/1bad local>" in atom_to_text(
+            atom, {"ex": "http://x.org/"}
+        )
+
+    def test_literal_and_bnode(self):
+        from repro.datalog.ast import Atom
+
+        atom = Atom(BNode("n"), URI("ex:p"), Literal('v"q', language="en"))
+        text = atom_to_text(atom)
+        assert text == '(_:n <ex:p> "v\\"q"@en)'
+
+
+class TestRoundTrip:
+    def test_horst_rules_round_trip(self):
+        rules = horst_raw_rules()
+        doc = rules_to_document(rules, HORST_PREFIXES)
+        reparsed = parse_rules(doc)
+        assert [(r.name, r.body, r.head) for r in reparsed] == [
+            (r.name, r.body, r.head) for r in rules
+        ]
+
+    def test_compiled_rules_round_trip(self):
+        from repro.datasets import LUBM
+        from repro.owl.compiler import compile_ontology
+
+        crs = compile_ontology(LUBM(1).ontology)
+        doc = rules_to_document(crs.rules, HORST_PREFIXES)
+        reparsed = parse_rules(doc)
+        assert len(reparsed) == len(crs.rules)
+        for a, b in zip(crs.rules, reparsed):
+            assert (a.body, a.head) == (b.body, b.head)
+
+    def test_header_comments_preserved_as_comments(self):
+        rules = horst_raw_rules()[:2]
+        doc = rules_to_document(rules, HORST_PREFIXES, header="line one\nline two")
+        assert doc.startswith("# line one\n# line two\n")
+        assert len(parse_rules(doc)) == 2

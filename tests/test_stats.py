@@ -1,0 +1,63 @@
+"""Unit tests for RunStats folding helpers."""
+
+from repro.parallel.stats import NodeRoundStats, RunStats
+
+
+def entry(node_id, round_no=0, **kw):
+    defaults = dict(
+        reasoning_time=1.0,
+        work=10,
+        derived=2,
+        received_tuples=1,
+        sent_tuples=3,
+        sent_bytes=100,
+        received_bytes=50,
+        sent_messages=1,
+    )
+    defaults.update(kw)
+    return NodeRoundStats(node_id=node_id, round_no=round_no, **defaults)
+
+
+def two_round_stats():
+    stats = RunStats(k=2)
+    stats.rounds.append([entry(0, 0, reasoning_time=1.0, work=10),
+                         entry(1, 0, reasoning_time=2.0, work=20)])
+    stats.rounds.append([entry(0, 1, reasoning_time=0.5, work=5),
+                         entry(1, 1, reasoning_time=0.5, work=5)])
+    return stats
+
+
+def test_num_rounds():
+    assert two_round_stats().num_rounds == 2
+
+
+def test_reasoning_time_per_node():
+    assert two_round_stats().reasoning_time_per_node() == [1.5, 2.5]
+
+
+def test_work_per_node():
+    assert two_round_stats().work_per_node() == [15, 25]
+
+
+def test_bytes_per_node():
+    assert two_round_stats().bytes_per_node() == [(200, 100), (200, 100)]
+
+
+def test_messages_per_node():
+    assert two_round_stats().messages_per_node() == [2, 2]
+
+
+def test_total_tuples_communicated():
+    assert two_round_stats().total_tuples_communicated() == 12
+
+
+def test_total_derived():
+    assert two_round_stats().total_derived() == 8
+
+
+def test_empty_stats():
+    stats = RunStats(k=3)
+    assert stats.num_rounds == 0
+    assert stats.reasoning_time_per_node() == [0.0, 0.0, 0.0]
+    assert stats.work_per_node() == [0, 0, 0]
+    assert stats.total_derived() == 0

@@ -1,0 +1,138 @@
+"""Unit tests for the RDF term model (interning, ordering, validation)."""
+
+import pickle
+
+import pytest
+
+from repro.rdf.terms import (
+    BNode,
+    Literal,
+    URI,
+    Variable,
+    intern_stats,
+    is_resource,
+)
+
+
+class TestURI:
+    def test_interning_returns_same_object(self):
+        assert URI("http://x.org/a") is URI("http://x.org/a")
+
+    def test_distinct_values_differ(self):
+        assert URI("ex:a") != URI("ex:b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            URI("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            URI(42)
+
+    def test_n3_form(self):
+        assert URI("ex:a").n3() == "<ex:a>"
+
+    def test_local_name_hash(self):
+        assert URI("http://x.org/ns#Student").local_name() == "Student"
+
+    def test_local_name_slash(self):
+        assert URI("http://x.org/people/alice").local_name() == "alice"
+
+    def test_local_name_no_separator(self):
+        # Only '#' and '/' split; opaque URNs come back whole.
+        assert URI("urn:isbn:12").local_name() == "urn:isbn:12"
+        assert URI("opaque").local_name() == "opaque"
+
+    def test_pickle_round_trip_reinterns(self):
+        a = URI("ex:pickle-me")
+        restored = pickle.loads(pickle.dumps(a))
+        assert restored is a
+
+
+class TestBNode:
+    def test_interning(self):
+        assert BNode("b1") is BNode("b1")
+
+    def test_str(self):
+        assert str(BNode("b1")) == "_:b1"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            BNode("")
+
+    def test_not_equal_to_uri(self):
+        assert BNode("x") != URI("x")
+
+
+class TestLiteral:
+    def test_plain_interning(self):
+        assert Literal("hi") is Literal("hi")
+
+    def test_datatype_distinguishes(self):
+        xsd_int = URI("http://www.w3.org/2001/XMLSchema#integer")
+        assert Literal("1") != Literal("1", datatype=xsd_int)
+
+    def test_language_normalized_to_lowercase(self):
+        assert Literal("hi", language="EN") is Literal("hi", language="en")
+
+    def test_datatype_and_language_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=URI("ex:dt"), language="en")
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\n')
+        assert lit.n3() == '"say \\"hi\\"\\n"'
+
+    def test_n3_with_language(self):
+        assert Literal("hi", language="en").n3() == '"hi"@en'
+
+    def test_n3_with_datatype(self):
+        assert Literal("1", datatype=URI("ex:int")).n3() == '"1"^^<ex:int>'
+
+
+class TestVariable:
+    def test_interning(self):
+        assert Variable("x") is Variable("x")
+
+    def test_sigil_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("?x")
+
+    def test_str(self):
+        assert str(Variable("x")) == "?x"
+
+    def test_is_variable_flag(self):
+        assert Variable("x").is_variable
+        assert not URI("ex:a").is_variable
+
+
+class TestOrdering:
+    def test_kind_order(self):
+        # URIs < BNodes < Literals < Variables
+        terms = [Variable("v"), Literal("l"), BNode("b"), URI("a")]
+        assert sorted(terms) == [URI("a"), BNode("b"), Literal("l"), Variable("v")]
+
+    def test_within_kind_lexicographic(self):
+        assert URI("ex:a") < URI("ex:b")
+
+    def test_total_order_consistency(self):
+        a, b = URI("ex:a"), BNode("a")
+        assert (a < b) != (b < a)
+        assert a <= a and a >= a
+
+
+class TestIsResource:
+    def test_uri_and_bnode_are_resources(self):
+        assert is_resource(URI("ex:a"))
+        assert is_resource(BNode("b"))
+
+    def test_literal_and_variable_are_not(self):
+        assert not is_resource(Literal("x"))
+        assert not is_resource(Variable("v"))
+
+
+def test_intern_stats_reports_counts():
+    URI("ex:stats-probe")
+    stats = intern_stats()
+    assert stats["uri"] >= 1
+    assert set(stats) == {"uri", "bnode", "literal", "variable"}

@@ -1,0 +1,77 @@
+"""Unit tests for the Triple value type."""
+
+import pickle
+
+import pytest
+
+from repro.rdf import BNode, Literal, Triple, URI
+from repro.rdf.terms import Variable
+
+
+def t(s="ex:s", p="ex:p", o="ex:o"):
+    return Triple(URI(s), URI(p), URI(o))
+
+
+class TestConstruction:
+    def test_basic(self):
+        triple = t()
+        assert triple.s == URI("ex:s")
+        assert triple.p == URI("ex:p")
+        assert triple.o == URI("ex:o")
+
+    def test_bnode_subject_allowed(self):
+        Triple(BNode("b"), URI("ex:p"), URI("ex:o"))
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), URI("ex:p"), URI("ex:o"))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(URI("ex:s"), Literal("p"), URI("ex:o"))
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(URI("ex:s"), BNode("p"), URI("ex:o"))
+
+    def test_literal_object_allowed(self):
+        Triple(URI("ex:s"), URI("ex:p"), Literal("42"))
+
+    def test_variable_anywhere_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(URI("ex:s"), URI("ex:p"), Variable("x"))
+
+    def test_immutable(self):
+        triple = t()
+        with pytest.raises(AttributeError):
+            triple.s = URI("ex:other")
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert t() == t()
+
+    def test_hash_consistency(self):
+        assert hash(t()) == hash(t())
+        assert len({t(), t()}) == 1
+
+    def test_inequality(self):
+        assert t() != t(o="ex:other")
+
+    def test_ordering(self):
+        assert t(s="ex:a") < t(s="ex:b")
+
+    def test_iteration_and_indexing(self):
+        triple = t()
+        assert list(triple) == [triple[0], triple[1], triple[2]]
+
+    def test_str_is_ntriples(self):
+        assert str(t()) == "<ex:s> <ex:p> <ex:o> ."
+
+    def test_replace(self):
+        assert t().replace(o=URI("ex:new")).o == URI("ex:new")
+        assert t().replace().s == URI("ex:s")
+
+    def test_pickle_round_trip(self):
+        triple = t()
+        assert pickle.loads(pickle.dumps(triple)) == triple

@@ -1,0 +1,168 @@
+"""Tests for the Turtle-subset parser."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Triple, URI
+from repro.rdf.namespace import XSD
+from repro.rdf.terms import BNode
+from repro.rdf.turtle import (
+    RDF_TYPE,
+    TurtleParseError,
+    parse_turtle,
+    parse_turtle_graph,
+)
+
+EX = "http://x.org/"
+PREFIX = f"@prefix ex: <{EX}> .\n"
+
+
+def u(name):
+    return URI(EX + name)
+
+
+class TestBasics:
+    def test_simple_triple(self):
+        g = parse_turtle_graph(PREFIX + "ex:a ex:p ex:b .")
+        assert Triple(u("a"), u("p"), u("b")) in g
+
+    def test_a_keyword(self):
+        g = parse_turtle_graph(PREFIX + "ex:alice a ex:Person .")
+        assert Triple(u("alice"), RDF_TYPE, u("Person")) in g
+
+    def test_predicate_list(self):
+        g = parse_turtle_graph(
+            PREFIX + "ex:a ex:p ex:b ; ex:q ex:c ; ex:r ex:d ."
+        )
+        assert len(g) == 3
+        assert Triple(u("a"), u("q"), u("c")) in g
+
+    def test_object_list(self):
+        g = parse_turtle_graph(PREFIX + "ex:a ex:p ex:b, ex:c, ex:d .")
+        assert len(g) == 3
+        assert {t.o for t in g} == {u("b"), u("c"), u("d")}
+
+    def test_trailing_semicolon_tolerated(self):
+        g = parse_turtle_graph(PREFIX + "ex:a ex:p ex:b ; .")
+        assert len(g) == 1
+
+    def test_absolute_iris(self):
+        g = parse_turtle_graph("<http://y.org/s> <http://y.org/p> <http://y.org/o> .")
+        assert len(g) == 1
+
+    def test_bnodes(self):
+        g = parse_turtle_graph(PREFIX + "_:x ex:p _:y .")
+        t = next(iter(g))
+        assert t.s == BNode("x") and t.o == BNode("y")
+
+    def test_comments_ignored(self):
+        g = parse_turtle_graph(PREFIX + "# comment\nex:a ex:p ex:b . # tail")
+        assert len(g) == 1
+
+    def test_sparql_style_prefix(self):
+        g = parse_turtle_graph(f"PREFIX ex: <{EX}>\nex:a ex:p ex:b .")
+        assert Triple(u("a"), u("p"), u("b")) in g
+
+    def test_base_resolution(self):
+        g = parse_turtle_graph("@base <http://b.org/> .\n<s> <p> <o> .")
+        t = next(iter(g))
+        assert t.s == URI("http://b.org/s")
+
+    def test_multiple_statements(self):
+        g = parse_turtle_graph(PREFIX + "ex:a ex:p ex:b .\nex:c ex:p ex:d .")
+        assert len(g) == 2
+
+
+class TestLiterals:
+    def test_plain_string(self):
+        g = parse_turtle_graph(PREFIX + 'ex:a ex:p "hello" .')
+        assert next(iter(g)).o == Literal("hello")
+
+    def test_language_tag(self):
+        g = parse_turtle_graph(PREFIX + 'ex:a ex:p "bonjour"@fr .')
+        assert next(iter(g)).o == Literal("bonjour", language="fr")
+
+    def test_typed_literal(self):
+        g = parse_turtle_graph(PREFIX + 'ex:a ex:p "5"^^ex:num .')
+        assert next(iter(g)).o == Literal("5", datatype=u("num"))
+
+    def test_integer_shorthand(self):
+        g = parse_turtle_graph(PREFIX + "ex:a ex:p 42 .")
+        assert next(iter(g)).o == Literal("42", datatype=XSD.integer)
+
+    def test_decimal_shorthand(self):
+        g = parse_turtle_graph(PREFIX + "ex:a ex:p -1.5 .")
+        assert next(iter(g)).o == Literal("-1.5", datatype=XSD.decimal)
+
+    def test_boolean_shorthand(self):
+        g = parse_turtle_graph(PREFIX + "ex:a ex:p true .")
+        assert next(iter(g)).o == Literal("true", datatype=XSD.boolean)
+
+    def test_escapes(self):
+        g = parse_turtle_graph(PREFIX + r'ex:a ex:p "tab\tnl\n\"q\"" .')
+        assert next(iter(g)).o.lexical == 'tab\tnl\n"q"'
+
+    def test_long_string(self):
+        g = parse_turtle_graph(PREFIX + 'ex:a ex:p """multi\nline "quoted" text""" .')
+        assert next(iter(g)).o.lexical == 'multi\nline "quoted" text'
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "doc,match",
+        [
+            ("ex:a ex:p ex:b .", "unknown prefix"),
+            (PREFIX + "ex:a ex:p ex:b", "unexpected end"),
+            (PREFIX + 'ex:a "lit" ex:b .', "predicate must be an IRI"),
+            (PREFIX + '"lit" ex:p ex:b .', "literal subject"),
+            (PREFIX + "ex:a ex:p [ ex:q ex:b ] .", "subset"),
+            (PREFIX + "ex:a ex:p (1 2) .", "subset"),
+            ("@prefix ex <http://x.org/> .", "prefix name"),
+            (PREFIX + r'ex:a ex:p "\q" .', "unknown escape"),
+        ],
+    )
+    def test_malformed(self, doc, match):
+        with pytest.raises(TurtleParseError, match=match):
+            list(parse_turtle(doc))
+
+    def test_error_carries_line_number(self):
+        doc = PREFIX + "ex:a ex:p ex:b .\nex:broken ex:p [ ] ."
+        with pytest.raises(TurtleParseError, match="line 3"):
+            list(parse_turtle(doc))
+
+
+class TestInterop:
+    def test_turtle_equals_ntriples_for_same_content(self):
+        from repro.rdf import parse_ntriples
+
+        turtle = PREFIX + 'ex:a a ex:T ; ex:p "v"@en, ex:b .'
+        ntriples = (
+            f"<{EX}a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <{EX}T> .\n"
+            f'<{EX}a> <{EX}p> "v"@en .\n'
+            f"<{EX}a> <{EX}p> <{EX}b> .\n"
+        )
+        assert parse_turtle_graph(turtle) == Graph(parse_ntriples(ntriples))
+
+    def test_parse_real_ontology_shape(self):
+        """A Turtle rendering of a small ontology loads and reasons."""
+        doc = """
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+        @prefix ex: <http://x.org/> .
+
+        ex:Student rdfs:subClassOf ex:Person .
+        ex:advisor rdfs:domain ex:Student ;
+                   rdfs:range ex:Professor .
+        ex:partOf a owl:TransitiveProperty .
+        """
+        tbox = parse_turtle_graph(doc)
+        from repro.owl import HorstReasoner
+
+        data = parse_turtle_graph(
+            "@prefix ex: <http://x.org/> .\n"
+            "ex:alice ex:advisor ex:bob .\n"
+            "ex:x ex:partOf ex:y . ex:y ex:partOf ex:z ."
+        )
+        result = HorstReasoner(tbox).materialize(data)
+        assert Triple(u("alice"), RDF_TYPE, u("Student")) in result.graph
+        assert Triple(u("x"), u("partOf"), u("z")) in result.graph

@@ -1,0 +1,79 @@
+"""Tests for the Turtle serializer."""
+
+import pytest
+
+from repro.datasets import LUBM, MDC
+from repro.rdf import Graph, Literal, Triple, URI
+from repro.rdf.terms import BNode
+from repro.rdf.turtle import RDF_TYPE, parse_turtle_graph, serialize_turtle
+
+EX = "http://x.org/"
+
+
+def u(name):
+    return URI(EX + name)
+
+
+class TestSerializeTurtle:
+    def test_round_trip_small(self):
+        g = Graph()
+        g.add_spo(u("s"), RDF_TYPE, u("T"))
+        g.add_spo(u("s"), u("p"), u("o1"))
+        g.add_spo(u("s"), u("p"), u("o2"))
+        g.add_spo(u("s"), u("q"), Literal('va"l', language="en"))
+        g.add_spo(BNode("b"), u("p"), Literal("x\ny"))
+        doc = serialize_turtle(g, {"ex": EX})
+        assert parse_turtle_graph(doc) == g
+
+    def test_round_trip_lubm(self):
+        ds = LUBM(1)
+        g = ds.ontology.union(ds.data)
+        doc = serialize_turtle(
+            g, {"ub": "http://repro.example.org/univ-bench#"}
+        )
+        assert parse_turtle_graph(doc) == g
+
+    def test_round_trip_mdc(self):
+        ds = MDC(1)
+        g = ds.ontology.union(ds.data)
+        assert parse_turtle_graph(serialize_turtle(g)) == g
+
+    def test_uses_a_keyword(self):
+        g = Graph([Triple(u("s"), RDF_TYPE, u("T"))])
+        doc = serialize_turtle(g, {"ex": EX})
+        assert " a ex:T" in doc
+
+    def test_groups_by_subject(self):
+        g = Graph()
+        g.add_spo(u("s"), u("p"), u("a"))
+        g.add_spo(u("s"), u("q"), u("b"))
+        doc = serialize_turtle(g, {"ex": EX})
+        # One subject block, joined with ';'.
+        assert doc.count("ex:s ") == 1
+        assert ";" in doc
+
+    def test_object_lists_with_comma(self):
+        g = Graph()
+        g.add_spo(u("s"), u("p"), u("a"))
+        g.add_spo(u("s"), u("p"), u("b"))
+        doc = serialize_turtle(g, {"ex": EX})
+        assert ", " in doc
+
+    def test_deterministic(self):
+        g = Graph()
+        for i in range(10):
+            g.add_spo(u(f"s{i}"), u("p"), u(f"o{i}"))
+        assert serialize_turtle(g, {"ex": EX}) == serialize_turtle(g, {"ex": EX})
+
+    def test_prefix_declarations_emitted(self):
+        g = Graph([Triple(u("s"), u("p"), u("o"))])
+        doc = serialize_turtle(g, {"ex": EX})
+        assert doc.startswith("@prefix ex: <http://x.org/> .")
+
+    def test_unprefixed_iris_absolute(self):
+        g = Graph([Triple(URI("http://other.org/s"), u("p"), u("o"))])
+        doc = serialize_turtle(g, {"ex": EX})
+        assert "<http://other.org/s>" in doc
+
+    def test_empty_graph(self):
+        assert parse_turtle_graph(serialize_turtle(Graph())) == Graph()

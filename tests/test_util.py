@@ -1,0 +1,99 @@
+"""Unit tests for the utility layer."""
+
+import pytest
+
+from repro.util import ascii_table, derive_seed, format_float, rng_for
+from repro.util.tables import to_csv
+from repro.util.timing import Stopwatch, Timer, timed
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.starts == 2
+        assert t.total >= 0
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+
+class TestStopwatch:
+    def test_elapsed_monotone(self):
+        sw = Stopwatch()
+        a = sw.elapsed()
+        b = sw.elapsed()
+        assert b >= a >= 0
+
+    def test_restart_resets(self):
+        sw = Stopwatch()
+        first = sw.restart()
+        assert first >= 0
+        assert sw.elapsed() <= first + 1
+
+
+def test_timed_context_reports_duration():
+    out = []
+    with timed(out.append):
+        pass
+    assert len(out) == 1 and out[0] >= 0
+
+
+class TestSeeding:
+    def test_stable_across_calls(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_rng_for_reproducible(self):
+        assert rng_for(7, "x").random() == rng_for(7, "x").random()
+
+
+class TestTables:
+    def test_alignment(self):
+        out = ascii_table(["col", "x"], [["a", 1], ["long-value", 22]])
+        lines = out.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        assert ascii_table(["a"], [[1]], title="T").startswith("T\n")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_to_csv(self):
+        assert to_csv(["a", "b"], [[1, 2.5]]) == "a,b\n1,2.5"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2.0, "2"),
+            (0.1234, "0.123"),
+            (float("nan"), "nan"),
+            (1e-9, "1.000e-09"),
+            (0.0, "0"),
+        ],
+    )
+    def test_format_float(self, value, expected):
+        assert format_float(value) == expected
