@@ -9,7 +9,11 @@ atoms are triple patterns.  This package implements that model directly:
 * :class:`Rule` — ``head <- body`` with a single head atom and a conjunctive
   body (a horn clause), exactly the paper's rule shape.
 * :class:`SemiNaiveEngine` — the production forward-chaining fixpoint
-  evaluator used inside every partition.
+  evaluator used inside every partition.  By default it routes 1-atom and
+  2-atom single-join rules through compiled kernels
+  (:mod:`repro.datalog.plan` / :mod:`repro.datalog.compiled`) and skips
+  rules per round via a predicate dispatch index; the generic interpreter
+  remains as fallback and ablation baseline.
 * :class:`NaiveEngine` — the textbook evaluator, kept as a test oracle and
   ablation baseline.
 * :class:`BackwardEngine` — SLD resolution with tabling plus the Jena-style
@@ -22,6 +26,8 @@ atoms are triple patterns.  This package implements that model directly:
 from repro.datalog.ast import Atom, Rule, Bindings
 from repro.datalog.parser import RuleParseError, parse_rules, parse_rule
 from repro.datalog.engine import SemiNaiveEngine, EngineStats, FixpointResult
+from repro.datalog.plan import DispatchIndex, PlanKind, RulePlan, build_plan
+from repro.datalog.compiled import JoinKernel, ScanKernel, compile_rule
 from repro.datalog.naive import NaiveEngine
 from repro.datalog.backward import BackwardEngine, materialize_backward
 from repro.datalog.analysis import (
@@ -45,6 +51,13 @@ __all__ = [
     "materialize_backward",
     "EngineStats",
     "FixpointResult",
+    "DispatchIndex",
+    "PlanKind",
+    "RulePlan",
+    "build_plan",
+    "JoinKernel",
+    "ScanKernel",
+    "compile_rule",
     "JoinClass",
     "classify_rule",
     "is_single_join",

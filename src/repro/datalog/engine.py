@@ -7,14 +7,32 @@ fire if at least one body sub-goal matches a triple derived in the previous
 iteration (the *delta*).  For the 1- and 2-atom rule bodies the OWL-Horst
 compiler emits, each iteration is a set of index-backed joins.
 
+Execution layers (see DESIGN.md "Engine execution layers"):
+
+* **Compiled kernels** (default) — at construction, every rule is analyzed
+  by :mod:`repro.datalog.plan` and 1-atom / 2-atom single-join bodies get a
+  specialized executor from :mod:`repro.datalog.compiled` that works on
+  flat binding tuples and raw index accessors instead of ``Bindings``
+  dicts and per-probe ``Triple`` objects.  A predicate->rules
+  :class:`~repro.datalog.plan.DispatchIndex` additionally skips, per
+  round, every rule whose ground body predicates are absent from the
+  delta's predicate set.
+* **Generic interpreter** (``compile_rules=False``, and the automatic
+  fallback for 3+-atom or cross-product bodies) — the original
+  fully-general join loop over bindings dicts.
+
 The engine is **resumable**: the parallel worker (Algorithm 3) feeds tuples
 received from other partitions in as the next delta instead of recomputing
 the fixpoint from scratch — ``run(graph, delta=received)``.
 
-Work accounting: :class:`EngineStats` counts join probes (index lookups),
-rule firings (head instantiations, pre-dedup), and derived triples
-(post-dedup).  These deterministic counters complement wall-clock time in
-the experiment harness, per the repo's measurement policy.
+Work accounting: :class:`EngineStats` counts join probes (candidate tuples
+examined by a join), rule firings (head instantiations, pre-dedup), and
+derived triples (post-dedup).  These deterministic counters complement
+wall-clock time in the experiment harness, per the repo's measurement
+policy; their meaning is identical across both execution layers so that
+simulated-cluster work accounting stays comparable.  The compiled layer
+additionally reports per-round dispatch counts (``rules_dispatched`` /
+``rules_skipped``).
 """
 
 from __future__ import annotations
@@ -23,6 +41,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.datalog.ast import Atom, Bindings, Rule
+from repro.datalog.compiled import compile_plan
+from repro.datalog.plan import DispatchIndex, PlanKind, build_plan
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Variable
 from repro.rdf.triple import Triple
@@ -36,12 +56,19 @@ class EngineStats:
     firings: int = 0
     derived: int = 0
     join_probes: int = 0
+    #: Rules evaluated across all rounds (with dispatch, only those whose
+    #: body predicates intersect the delta; without, every rule per round).
+    rules_dispatched: int = 0
+    #: Rules skipped by the predicate dispatch index across all rounds.
+    rules_skipped: int = 0
 
     def merge(self, other: "EngineStats") -> None:
         self.iterations += other.iterations
         self.firings += other.firings
         self.derived += other.derived
         self.join_probes += other.join_probes
+        self.rules_dispatched += other.rules_dispatched
+        self.rules_skipped += other.rules_skipped
 
     @property
     def work(self) -> int:
@@ -85,8 +112,75 @@ def match_atom(
             yield extended
 
 
+def eval_rule_generic(
+    graph: Graph, rule: Rule, delta: Graph, stats: EngineStats
+) -> Iterator[Triple | None]:
+    """All head instantiations of ``rule`` where at least one body atom
+    matches a delta triple — the generic (bindings-dict) interpreter.
+
+    Standard semi-naive decomposition: for each body position ``i``,
+    evaluate the join with atom ``i`` ranging over the delta and every
+    other atom over the full database.  When several atoms match delta
+    triples the same binding is produced once per delta position; those
+    duplicates are removed here, before head instantiation, so ``firings``
+    counts distinct bindings (the compiled kernels achieve the same by
+    restricting the later halves to ``G ∖ Δ``).
+    """
+    body = rule.body
+    head = rule.head
+    seen: set[frozenset] | None = set() if len(body) > 1 else None
+    for delta_pos in range(len(body)):
+        # Evaluate the delta atom first: the delta is usually far
+        # smaller than the database, so this orders the join from the
+        # most selective side (left-deep, selective-first).
+        order = [delta_pos] + [j for j in range(len(body)) if j != delta_pos]
+        bindings_list: list[Bindings] = [{}]
+        for j in order:
+            atom = body[j]
+            source = delta if j == delta_pos else graph
+            new_list: list[Bindings] = []
+            for b in bindings_list:
+                new_list.extend(match_atom(source, atom, b, stats))
+            bindings_list = new_list
+            if not bindings_list:
+                break
+        for b in bindings_list:
+            if seen is not None:
+                key = frozenset(b.items())
+                if key in seen:
+                    continue
+                seen.add(key)
+            try:
+                yield head.to_triple(b)
+            except TypeError:
+                # A generalized triple (e.g. rdfs3 placing a literal in
+                # subject position).  RDF semantics drops these.
+                yield None
+
+
+class GenericKernel:
+    """Kernel-interface wrapper around the generic interpreter — used for
+    every rule when ``compile_rules=False`` and as the fallback for rule
+    shapes the compiled kernels don't cover."""
+
+    kind = PlanKind.GENERIC
+
+    def __init__(self, rule: Rule) -> None:
+        self.rule = rule
+
+    def eval_delta(
+        self, graph: Graph, delta: Graph, stats: EngineStats
+    ) -> Iterator[Triple | None]:
+        return eval_rule_generic(graph, self.rule, delta, stats)
+
+
 class SemiNaiveEngine:
     """Semi-naive fixpoint evaluator over a fixed rule set.
+
+    ``compile_rules=True`` (default) routes 1-atom and 2-atom single-join
+    rules through the compiled kernels and enables predicate dispatch;
+    ``False`` runs the generic interpreter for every rule (the ablation
+    baseline — results are identical, only speed and probe counts differ).
 
     >>> from repro.datalog.parser import parse_rules
     >>> from repro.rdf import Graph, URI, Triple
@@ -99,13 +193,34 @@ class SemiNaiveEngine:
     1
     """
 
-    def __init__(self, rules: Sequence[Rule], max_iterations: int | None = None) -> None:
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        max_iterations: int | None = None,
+        compile_rules: bool = True,
+    ) -> None:
         self.rules = tuple(rules)
         #: Safety valve for runaway rule sets; ``None`` means run to fixpoint.
         self.max_iterations = max_iterations
+        self.compile_rules = compile_rules
         for rule in self.rules:
             if not isinstance(rule, Rule):
                 raise TypeError(f"expected Rule, got {rule!r}")
+        if compile_rules:
+            plans = [build_plan(r) for r in self.rules]
+            self._kernels = [
+                compile_plan(p) or GenericKernel(p.rule) for p in plans
+            ]
+            self._dispatch: DispatchIndex | None = DispatchIndex(plans)
+        else:
+            self._kernels = [GenericKernel(r) for r in self.rules]
+            self._dispatch = None
+
+    @property
+    def kernel_kinds(self) -> tuple[str, ...]:
+        """Executor chosen per rule ('scan' / 'join' / 'generic'), in rule
+        order — diagnostic surface for tests and the experiment harness."""
+        return tuple(k.kind.value for k in self._kernels)
 
     # -- public API ---------------------------------------------------------
 
@@ -133,6 +248,7 @@ class SemiNaiveEngine:
                 graph.add(t)
                 current_delta.add(t)
 
+        n_rules = len(self._kernels)
         while len(current_delta) > 0:
             if (
                 self.max_iterations is not None
@@ -142,9 +258,17 @@ class SemiNaiveEngine:
                     f"fixpoint not reached after {self.max_iterations} iterations"
                 )
             stats.iterations += 1
+            if self._dispatch is not None:
+                live = self._dispatch.candidates(current_delta.predicates())
+                stats.rules_dispatched += len(live)
+                stats.rules_skipped += n_rules - len(live)
+                kernels = [self._kernels[i] for i in live]
+            else:
+                stats.rules_dispatched += n_rules
+                kernels = self._kernels
             next_delta = Graph()
-            for rule in self.rules:
-                for triple in self._eval_rule(graph, rule, current_delta, stats):
+            for kernel in kernels:
+                for triple in kernel.eval_delta(graph, current_delta, stats):
                     if triple is None:
                         continue
                     stats.firings += 1
@@ -160,42 +284,3 @@ class SemiNaiveEngine:
             current_delta = next_delta
 
         return FixpointResult(graph=graph, inferred=inferred, stats=stats)
-
-    # -- internals ----------------------------------------------------------
-
-    def _eval_rule(
-        self, graph: Graph, rule: Rule, delta: Graph, stats: EngineStats
-    ) -> Iterator[Triple | None]:
-        """All head instantiations of ``rule`` where at least one body atom
-        matches a delta triple.
-
-        Standard semi-naive decomposition: for each body position ``i``,
-        evaluate the join with atom ``i`` ranging over the delta and every
-        other atom over the full database.  When several atoms match delta
-        triples the same derivation is produced more than once; the caller's
-        set-insert removes duplicates (correctness is unaffected).
-        """
-        body = rule.body
-        head = rule.head
-        for delta_pos in range(len(body)):
-            # Evaluate the delta atom first: the delta is usually far
-            # smaller than the database, so this orders the join from the
-            # most selective side (left-deep, selective-first).
-            order = [delta_pos] + [j for j in range(len(body)) if j != delta_pos]
-            bindings_list: list[Bindings] = [{}]
-            for j in order:
-                atom = body[j]
-                source = delta if j == delta_pos else graph
-                new_list: list[Bindings] = []
-                for b in bindings_list:
-                    new_list.extend(match_atom(source, atom, b, stats))
-                bindings_list = new_list
-                if not bindings_list:
-                    break
-            for b in bindings_list:
-                try:
-                    yield head.to_triple(b)
-                except TypeError:
-                    # A generalized triple (e.g. rdfs3 placing a literal in
-                    # subject position).  RDF semantics drops these.
-                    yield None

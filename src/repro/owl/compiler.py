@@ -53,8 +53,10 @@ class CompiledRuleSet:
     def __len__(self) -> int:
         return len(self.rules)
 
-    def engine(self) -> SemiNaiveEngine:
-        return SemiNaiveEngine(self.rules)
+    def engine(self, compile_rules: bool = True) -> SemiNaiveEngine:
+        """A fresh fixpoint engine over the compiled rules.
+        ``compile_rules=False`` selects the generic-interpreter ablation."""
+        return SemiNaiveEngine(self.rules, compile_rules=compile_rules)
 
     def check_single_join(self) -> None:
         """Assert every compiled rule is safe for data partitioning."""

@@ -59,11 +59,13 @@ class MaterializedKB:
         self,
         ontology: Graph,
         include_sameas_propagation: bool | str = "auto",
+        compile_rules: bool = True,
     ) -> None:
         self.compiled: CompiledRuleSet = compile_ontology(
             ontology, include_sameas_propagation=include_sameas_propagation
         )
-        self._engine = SemiNaiveEngine(self.compiled.rules)
+        self._engine = SemiNaiveEngine(self.compiled.rules,
+                                       compile_rules=compile_rules)
         self._base = Graph()
         self._closed = Graph()
         self._stats = EngineStats()

@@ -85,12 +85,16 @@ class HorstReasoner:
         ontology: Graph,
         include_sameas_propagation: bool | str = "auto",
         split_sameas: bool = True,
+        compile_rules: bool = True,
     ) -> None:
         self.compiled: CompiledRuleSet = compile_ontology(
             ontology,
             include_sameas_propagation=include_sameas_propagation,
             split_sameas=split_sameas,
         )
+        #: Forward strategy executes via compiled kernels by default;
+        #: ``False`` pins the generic interpreter (ablation baseline).
+        self.compile_rules = compile_rules
 
     @classmethod
     def from_dataset(cls, graph: Graph, **kwargs) -> tuple["HorstReasoner", Graph]:
@@ -117,7 +121,9 @@ class HorstReasoner:
         """
         if strategy == "forward":
             working = data.copy()
-            fp: FixpointResult = self.compiled.engine().run(working)
+            fp: FixpointResult = self.compiled.engine(
+                compile_rules=self.compile_rules
+            ).run(working)
             out = working
             inferred = len(fp.inferred)
             result = MaterializationResult(

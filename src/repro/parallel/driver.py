@@ -88,6 +88,7 @@ class ParallelReasoner:
         weight_rule_edges: bool = True,
         max_rounds: int = 10_000,
         seed: int = 0,
+        compile_rules: bool = True,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -109,6 +110,9 @@ class ParallelReasoner:
         self.weight_rule_edges = weight_rule_edges
         self.max_rounds = max_rounds
         self.seed = seed
+        #: Kernel selection for every partition's engine (see
+        #: :class:`~repro.datalog.engine.SemiNaiveEngine`).
+        self.compile_rules = compile_rules
 
     # -- the run ---------------------------------------------------------------
 
@@ -144,6 +148,7 @@ class ParallelReasoner:
                     rules=self.compiled.rules,
                     router=router,
                     strategy=self.strategy,
+                    compile_rules=self.compile_rules,
                 )
                 for i in range(self.k)
             ]
@@ -169,6 +174,7 @@ class ParallelReasoner:
                     rules=rule_result.rule_sets[i],
                     router=router,
                     strategy=self.strategy,
+                    compile_rules=self.compile_rules,
                 )
                 for i in range(self.k)
             ]

@@ -127,6 +127,7 @@ class HybridParallelReasoner:
         comm: CommBackend | None = None,
         max_rounds: int = 10_000,
         seed: int = 0,
+        compile_rules: bool = True,
     ) -> None:
         if k_data <= 0 or k_rules <= 0:
             raise ValueError("k_data and k_rules must be positive")
@@ -144,6 +145,7 @@ class HybridParallelReasoner:
         )
         self.max_rounds = max_rounds
         self.seed = seed
+        self.compile_rules = compile_rules
 
     def materialize(self, graph: Graph) -> ParallelRunResult:
         schema, instance = split_schema(graph)
@@ -178,6 +180,7 @@ class HybridParallelReasoner:
                         base=data_result.partitions[row],
                         rules=rule_result.rule_sets[col],
                         router=router,
+                        compile_rules=self.compile_rules,
                     )
                 )
         stats.partition_time = watch.elapsed()

@@ -81,6 +81,7 @@ class PartitionWorker:
         strategy: Strategy = "forward",
         schema: Graph | None = None,
         forward_received: bool = False,
+        compile_rules: bool = True,
     ) -> None:
         self.node_id = node_id
         self.graph = base.copy()
@@ -90,7 +91,9 @@ class PartitionWorker:
             # they are rarely needed, but user rule sets may reference them).
             self.graph.update(iter(schema))
         self.rules = tuple(rules)
-        self.engine = SemiNaiveEngine(self.rules)
+        #: Every partition runs the compiled kernels by default — the
+        #: per-partition fixpoint is the hottest path in Algorithms 1-3.
+        self.engine = SemiNaiveEngine(self.rules, compile_rules=compile_rules)
         self.router = router
         self.strategy: Strategy = strategy
         #: Re-route tuples received from peers (dedup-guarded).  Off for

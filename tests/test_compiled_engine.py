@@ -1,0 +1,344 @@
+"""Compiled rule kernels, predicate dispatch, and the differential
+property test proving the three execution layers compute the same fixpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    NaiveEngine,
+    PlanKind,
+    SemiNaiveEngine,
+    build_plan,
+    parse_rules,
+)
+from repro.datalog.plan import DispatchIndex
+from repro.owl.compiler import compile_ontology
+from repro.owl.vocabulary import OWL, RDF, RDFS
+from repro.rdf import Graph, Literal, Triple, URI
+
+PREFIX = "@prefix ex: <ex:>\n"
+TRANS = parse_rules(PREFIX + "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
+
+
+def chain(n, pred="ex:p"):
+    g = Graph()
+    for i in range(n):
+        g.add_spo(URI(f"ex:n{i}"), URI(pred), URI(f"ex:n{i + 1}"))
+    return g
+
+
+# -- plan selection ----------------------------------------------------------
+
+
+class TestPlanSelection:
+    def test_zero_join_compiles_to_scan(self):
+        r = parse_rules(PREFIX + "[z: (?x ex:p ?y) -> (?y ex:q ?x)]")[0]
+        assert build_plan(r).kind is PlanKind.SCAN
+
+    def test_single_join_compiles_to_join(self):
+        assert build_plan(TRANS[0]).kind is PlanKind.JOIN
+
+    def test_cartesian_two_atom_falls_back(self):
+        r = parse_rules(
+            PREFIX + "[c: (?a ex:p ?b) (?c ex:q ?d) -> (?a ex:r ?d)]"
+        )[0]
+        assert build_plan(r).kind is PlanKind.GENERIC
+
+    def test_three_atom_falls_back(self):
+        r = parse_rules(
+            PREFIX + "[m: (?a ex:p ?b) (?b ex:q ?c) (?c ex:r ?d) -> (?a ex:s ?d)]"
+        )[0]
+        assert build_plan(r).kind is PlanKind.GENERIC
+
+    def test_engine_reports_kernel_kinds(self):
+        rules = parse_rules(
+            PREFIX
+            + "[z: (?x ex:p ?y) -> (?y ex:q ?x)]"
+            + "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]"
+            + "[m: (?a ex:p ?b) (?b ex:q ?c) (?c ex:r ?d) -> (?a ex:s ?d)]"
+        )
+        assert SemiNaiveEngine(rules).kernel_kinds == ("scan", "join", "generic")
+        assert SemiNaiveEngine(rules, compile_rules=False).kernel_kinds == (
+            "generic",
+            "generic",
+            "generic",
+        )
+
+    def test_variable_predicate_rule_is_wildcard_dispatch(self):
+        r = parse_rules(
+            PREFIX + "[p11a: (?s <http://www.w3.org/2002/07/owl#sameAs> ?x)"
+            " (?s ?p ?o) -> (?x ?p ?o)]"
+        )[0]
+        plan = build_plan(r)
+        assert plan.kind is PlanKind.JOIN
+        assert plan.body_predicates is None
+
+
+# -- kernel correctness ------------------------------------------------------
+
+
+class TestKernels:
+    def test_transitive_chain_closure(self):
+        g = chain(5)
+        SemiNaiveEngine(TRANS).run(g)
+        assert len(g) == 15
+
+    def test_scan_kernel_rewrites(self):
+        rules = parse_rules(PREFIX + "[z: (?x ex:p ?y) -> (?y ex:q ?x)]")
+        g = chain(3)
+        result = SemiNaiveEngine(rules).run(g)
+        assert result.stats.derived == 3
+        assert Triple(URI("ex:n1"), URI("ex:q"), URI("ex:n0")) in g
+
+    def test_scan_kernel_repeated_variable(self):
+        rules = parse_rules(PREFIX + "[r: (?x ex:p ?x) -> (?x ex:self ?x)]")
+        g = Graph()
+        g.add_spo(URI("ex:a"), URI("ex:p"), URI("ex:a"))
+        g.add_spo(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        result = SemiNaiveEngine(rules).run(g)
+        assert result.stats.derived == 1
+        assert Triple(URI("ex:a"), URI("ex:self"), URI("ex:a")) in g
+
+    def test_join_kernel_repeated_variable_in_other_atom(self):
+        rules = parse_rules(
+            PREFIX + "[r: (?x ex:p ?y) (?y ex:q ?y) -> (?x ex:r ?y)]"
+        )
+        g = Graph()
+        g.add_spo(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        g.add_spo(URI("ex:b"), URI("ex:q"), URI("ex:b"))
+        g.add_spo(URI("ex:b"), URI("ex:q"), URI("ex:c"))
+        result = SemiNaiveEngine(rules).run(g)
+        assert result.stats.derived == 1
+        assert Triple(URI("ex:a"), URI("ex:r"), URI("ex:b")) in g
+
+    def test_join_kernel_variable_predicate(self):
+        # The sameAs-propagation shape: second atom has a variable predicate.
+        rules = parse_rules(
+            PREFIX + "[p11a: (?s ex:same ?x) (?s ?p ?o) -> (?x ?p ?o)]"
+        )
+        g = Graph()
+        g.add_spo(URI("ex:a"), URI("ex:same"), URI("ex:b"))
+        g.add_spo(URI("ex:a"), URI("ex:knows"), URI("ex:c"))
+        SemiNaiveEngine(rules).run(g)
+        assert Triple(URI("ex:b"), URI("ex:knows"), URI("ex:c")) in g
+        # ... including propagating the sameAs triple itself.
+        assert Triple(URI("ex:b"), URI("ex:same"), URI("ex:b")) in g
+
+    def test_literal_subject_derivation_dropped(self):
+        rules = parse_rules(PREFIX + "[r: (?s ex:p ?o) -> (?o ex:t ?s)]")
+        g = Graph([Triple(URI("ex:a"), URI("ex:p"), Literal("lit"))])
+        result = SemiNaiveEngine(rules).run(g)
+        assert result.stats.derived == 0
+
+    def test_resume_with_delta(self):
+        base = chain(4)
+        extra = [Triple(URI("ex:n4"), URI("ex:p"), URI("ex:n5"))]
+        full = chain(5)
+        SemiNaiveEngine(TRANS).run(full)
+        engine = SemiNaiveEngine(TRANS)
+        engine.run(base)
+        engine.run(base, delta=extra)
+        assert base == full
+
+
+# -- duplicate-derivation fix (satellite) ------------------------------------
+
+
+class TestDeltaDedup:
+    def test_compiled_fires_once_per_binding(self):
+        # a-p-b, b-p-c: the single derivation (a,b,c) matches the delta at
+        # both body positions in round 1; pre-fix engines fired it twice.
+        g = chain(2)
+        result = SemiNaiveEngine(TRANS).run(g)
+        assert result.stats.firings == 1
+
+    def test_generic_interpreter_dedupes_too(self):
+        g = chain(2)
+        result = SemiNaiveEngine(TRANS, compile_rules=False).run(g)
+        assert result.stats.firings == 1
+
+    def test_firings_drop_on_delta_heavy_round(self):
+        # Round 1 of a from-scratch run is maximally delta-heavy (Δ = G):
+        # every 2-atom binding used to be derived once per delta position.
+        # Firings must now equal distinct bindings: one per adjacent pair
+        # plus the downstream rounds' single-position derivations.
+        g = chain(8)
+        result = SemiNaiveEngine(TRANS).run(g)
+        generic = SemiNaiveEngine(TRANS, compile_rules=False).run(chain(8))
+        assert result.stats.firings == generic.stats.firings
+        # The closure of an 8-edge chain: every firing is a distinct
+        # binding; duplicates would push this above the pair count.
+        naive = NaiveEngine(TRANS).run(chain(8))
+        assert result.stats.firings < naive.stats.firings
+
+    def test_compiled_probes_below_generic(self):
+        # The compiled join restricts half B to G ∖ Δ inside the index
+        # walk, so delta-heavy rounds examine strictly fewer candidates.
+        compiled = SemiNaiveEngine(TRANS).run(chain(10))
+        generic = SemiNaiveEngine(TRANS, compile_rules=False).run(chain(10))
+        assert compiled.stats.join_probes < generic.stats.join_probes
+
+
+# -- predicate dispatch (satellite: dispatch-count unit test) ----------------
+
+
+class TestDispatch:
+    RULES = parse_rules(
+        PREFIX
+        + "[a: (?x ex:p ?y) -> (?x ex:q ?y)]"
+        + "[b: (?x ex:r ?y) -> (?x ex:s ?y)]"
+    )
+
+    def test_rules_skipped_when_predicates_absent(self):
+        g = chain(3)  # only ex:p triples
+        result = SemiNaiveEngine(self.RULES).run(g)
+        # Round 1 (Δ predicates = {p}): rule a dispatched, b skipped.
+        # Round 2 (Δ predicates = {q}): nothing dispatched, both skipped.
+        assert result.stats.iterations == 2
+        assert result.stats.rules_dispatched == 1
+        assert result.stats.rules_skipped == 3
+
+    def test_generic_engine_has_no_dispatch(self):
+        g = chain(3)
+        result = SemiNaiveEngine(self.RULES, compile_rules=False).run(g)
+        assert result.stats.rules_dispatched == 2 * result.stats.iterations
+        assert result.stats.rules_skipped == 0
+
+    def test_dispatch_preserves_fixpoint(self):
+        g1, g2 = chain(5), chain(5)
+        SemiNaiveEngine(self.RULES).run(g1)
+        SemiNaiveEngine(self.RULES, compile_rules=False).run(g2)
+        assert g1 == g2
+
+    def test_wildcard_rule_always_dispatched(self):
+        rules = parse_rules(
+            PREFIX + "[w: (?s ex:same ?x) (?s ?p ?o) -> (?x ?p ?o)]"
+        )
+        idx = DispatchIndex([build_plan(r) for r in rules])
+        assert idx.candidates(set()) == [0]
+        assert idx.candidates({URI("ex:whatever")}) == [0]
+
+    def test_dispatch_index_candidates(self):
+        idx = DispatchIndex([build_plan(r) for r in self.RULES])
+        assert idx.candidates({URI("ex:p")}) == [0]
+        assert idx.candidates({URI("ex:r")}) == [1]
+        assert idx.candidates({URI("ex:p"), URI("ex:r")}) == [0, 1]
+        assert idx.candidates({URI("ex:absent")}) == []
+
+
+# -- differential property test (satellite) ----------------------------------
+
+EX = "http://example.org/diff#"
+
+
+def _rich_tbox() -> Graph:
+    """A TBox exercising every kernel-relevant rule shape: scan rules
+    (hierarchy, domain/range, inverse, symmetric), join rules (transitive,
+    someValuesFrom), and the sameAs equality theory with its
+    variable-predicate propagation split (via the functional property)."""
+    g = Graph()
+    g.add_spo(URI(EX + "Student"), RDFS.subClassOf, URI(EX + "Person"))
+    g.add_spo(URI(EX + "Person"), RDFS.subClassOf, URI(EX + "Agent"))
+    g.add_spo(URI(EX + "advisor"), RDFS.domain, URI(EX + "Student"))
+    g.add_spo(URI(EX + "advisor"), RDFS.range, URI(EX + "Person"))
+    g.add_spo(URI(EX + "knows"), RDF.type, OWL.SymmetricProperty)
+    g.add_spo(URI(EX + "partOf"), RDF.type, OWL.TransitiveProperty)
+    g.add_spo(URI(EX + "advisor"), OWL.inverseOf, URI(EX + "advises"))
+    g.add_spo(URI(EX + "hasId"), RDF.type, OWL.InverseFunctionalProperty)
+    g.add_spo(URI(EX + "Restriction1"), OWL.onProperty, URI(EX + "advisor"))
+    g.add_spo(URI(EX + "Restriction1"), OWL.someValuesFrom, URI(EX + "Person"))
+    g.add_spo(URI(EX + "Restriction1"), RDFS.subClassOf, URI(EX + "Advised"))
+    return g
+
+
+HORST_RULES = compile_ontology(_rich_tbox(), include_sameas_propagation=True).rules
+
+_individuals = st.integers(min_value=0, max_value=6).map(
+    lambda i: URI(f"{EX}ind{i}")
+)
+_classes = st.sampled_from(
+    [URI(EX + "Student"), URI(EX + "Person"), URI(EX + "Agent")]
+)
+_ids = st.integers(min_value=0, max_value=2).map(lambda i: URI(f"{EX}id{i}"))
+
+_instance_triples = st.one_of(
+    st.tuples(
+        _individuals,
+        st.sampled_from(
+            [
+                URI(EX + "advisor"),
+                URI(EX + "advises"),
+                URI(EX + "knows"),
+                URI(EX + "partOf"),
+            ]
+        ),
+        _individuals,
+    ),
+    st.tuples(_individuals, st.just(RDF.type), _classes),
+    st.tuples(_individuals, st.just(URI(EX + "hasId")), _ids),
+)
+
+
+@st.composite
+def _instance_graphs(draw):
+    triples = draw(st.lists(_instance_triples, min_size=0, max_size=18))
+    g = Graph()
+    for s, p, o in triples:
+        g.add_spo(s, p, o)
+    return g
+
+
+class TestDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(_instance_graphs())
+    def test_three_layers_agree_on_full_horst_set(self, data):
+        g_naive = data.copy()
+        g_generic = data.copy()
+        g_compiled = data.copy()
+        NaiveEngine(HORST_RULES).run(g_naive)
+        generic = SemiNaiveEngine(HORST_RULES, compile_rules=False).run(g_generic)
+        compiled = SemiNaiveEngine(HORST_RULES).run(g_compiled)
+        assert g_naive == g_generic
+        assert g_naive == g_compiled
+        # Identical fixpoints and identical derivation accounting ...
+        assert compiled.stats.derived == generic.stats.derived
+        assert compiled.stats.firings == generic.stats.firings
+        # ... with the compiled layer never examining more candidates.
+        assert compiled.stats.join_probes <= generic.stats.join_probes
+
+    @settings(max_examples=10, deadline=None)
+    @given(_instance_graphs(), _instance_graphs())
+    def test_compiled_delta_resume_agrees(self, base, extra):
+        # Resume semantics: fixpoint(base) then delta-resume(extra) must
+        # equal a from-scratch fixpoint of base + extra, on both layers.
+        full = base.copy()
+        full.update(iter(extra))
+        SemiNaiveEngine(HORST_RULES).run(full)
+
+        resumed = base.copy()
+        engine = SemiNaiveEngine(HORST_RULES)
+        engine.run(resumed)
+        engine.run(resumed, delta=list(extra))
+        assert resumed == full
+
+
+# -- stats plumbing ----------------------------------------------------------
+
+
+class TestStatsPlumbing:
+    def test_merge_includes_dispatch_counters(self):
+        from repro.datalog.engine import EngineStats
+
+        a = EngineStats(rules_dispatched=2, rules_skipped=3)
+        b = EngineStats(rules_dispatched=10, rules_skipped=20)
+        a.merge(b)
+        assert (a.rules_dispatched, a.rules_skipped) == (12, 23)
+
+    def test_work_formula_unchanged(self):
+        g = chain(5)
+        result = SemiNaiveEngine(TRANS).run(g)
+        assert result.stats.work == result.stats.join_probes + result.stats.firings

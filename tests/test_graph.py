@@ -163,6 +163,48 @@ class TestSetOperations:
             hash(small)
 
 
+class TestRawAccessors:
+    """The fast paths the compiled rule kernels probe through."""
+
+    def test_spo_items_matches_iteration(self, small):
+        assert set(small.spo_items()) == {(t.s, t.p, t.o) for t in small}
+
+    def test_contains_spo(self, small):
+        assert small.contains_spo(u("a"), u("p"), u("b"))
+        assert not small.contains_spo(u("a"), u("p"), u("z"))
+        assert not small.contains_spo(u("z"), u("p"), u("b"))
+
+    def test_objects_set(self, small):
+        assert small.objects_set(u("a"), u("p")) == {u("b"), u("c")}
+        assert small.objects_set(u("a"), u("q")) is None
+        assert small.objects_set(u("z"), u("p")) is None
+
+    def test_subjects_set(self, small):
+        assert small.subjects_set(u("q"), u("c")) == {u("b")}
+        assert small.subjects_set(u("q"), u("z")) is None
+
+    def test_predicates_set(self, small):
+        assert small.predicates_set(u("b"), u("c")) == {u("q")}
+        assert small.predicates_set(u("a"), u("z")) is None
+
+    def test_maps(self, small):
+        assert set(small.po_map(u("a"))) == {u("p")}
+        assert small.po_map(u("zzz")) is None
+        assert set(small.os_map(u("p"))) == {u("b"), u("c"), Literal("leaf")}
+        assert small.os_map(u("zzz")) is None
+        assert set(small.sp_map(u("c"))) == {u("a"), u("b")}
+        assert small.sp_map(u("zzz")) is None
+
+    def test_accessors_track_discard(self, small):
+        small.discard(Triple(u("a"), u("p"), u("b")))
+        assert small.objects_set(u("a"), u("p")) == {u("c")}
+        assert not small.contains_spo(u("a"), u("p"), u("b"))
+        small.discard(Triple(u("a"), u("p"), u("c")))
+        # Emptied index levels are pruned, so the accessor sees None.
+        assert small.objects_set(u("a"), u("p")) is None
+        assert small.po_map(u("a")) is None
+
+
 def test_integrity_checker_catches_corruption(small):
     # Reach into an index and corrupt it deliberately.
     small._spo[u("a")][u("p")].add(u("phantom"))
