@@ -41,6 +41,12 @@ class Atom:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # Reconstruct through __init__: the immutability guard blocks
+        # pickle's default slot-state restore (spawn-based multiprocessing
+        # pickles rule sets, where fork inherits them).
+        return (Atom, (self.s, self.p, self.o))
+
     def __hash__(self) -> int:
         return self._hash
 
@@ -190,6 +196,9 @@ class Rule:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rule is immutable")
+
+    def __reduce__(self):
+        return (Rule, (self.name, self.body, self.head))
 
     def __hash__(self) -> int:
         return self._hash

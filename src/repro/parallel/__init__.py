@@ -21,10 +21,17 @@ Layers, bottom up:
   :class:`CostModel` (file-IPC, MPI, shared-memory presets).  This is the
   documented substitute for the paper's 16-node cluster (DESIGN.md §2).
 * :mod:`repro.parallel.mp_backend` — a real ``multiprocessing`` executor
-  for end-to-end correctness runs.
+  for end-to-end correctness runs (lock-step rounds; the differential
+  oracle for the async backend).
+* :mod:`repro.parallel.termination` — Safra-style sent/received counting
+  for barrier-free global-quiescence detection.
+* :mod:`repro.parallel.async_backend` — the round-free executor over the
+  id-encoded wire protocol (:class:`EncodedBatch`): workers reason over
+  batches as they arrive, in-process (with controllable delivery order)
+  or across real processes.
 """
 
-from repro.parallel.messages import TupleBatch
+from repro.parallel.messages import EncodedBatch, TupleBatch
 from repro.parallel.comm import CommBackend, FileComm, InMemoryComm
 from repro.parallel.routing import (
     BroadcastRouter,
@@ -40,9 +47,24 @@ from repro.parallel.stats import NodeRoundStats, RunStats
 from repro.parallel.hybrid import HybridParallelReasoner
 from repro.parallel.rebalance import RebalancingParallelReasoner
 from repro.parallel.query import DistributedQueryEngine, DistributedQueryStats
+from repro.parallel.stats import AsyncRunStats
+from repro.parallel.termination import CountingTermination
+from repro.parallel.async_backend import (
+    AsyncRunResult,
+    build_base_dictionary,
+    run_async_inprocess,
+    run_multiprocess_async,
+)
 
 __all__ = [
     "TupleBatch",
+    "EncodedBatch",
+    "AsyncRunStats",
+    "AsyncRunResult",
+    "CountingTermination",
+    "build_base_dictionary",
+    "run_async_inprocess",
+    "run_multiprocess_async",
     "CommBackend",
     "InMemoryComm",
     "FileComm",

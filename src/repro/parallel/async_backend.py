@@ -1,0 +1,369 @@
+"""Asynchronous, round-free execution of Algorithm 3 over the id-encoded
+wire protocol.
+
+The lock-step backends (:mod:`repro.parallel.driver`,
+:mod:`repro.parallel.mp_backend`) advance all workers through global
+rounds: nobody starts round n+1 until everyone finished round n, and the
+barrier itself is the termination test.  Following the dynamic-data-
+exchange design (Ajileye et al.), this module removes the barrier: a
+worker reasons over each batch *as it arrives*, interleaving freely with
+its peers, and the master detects global quiescence with Safra-style
+sent/received counting (:class:`repro.parallel.termination.CountingTermination`)
+instead of a barrier.
+
+Everything on the wire is id-encoded: the master builds one base
+:class:`~repro.rdf.dictionary.TermDictionary` over the input KB, each
+worker extends it through a private :class:`~repro.rdf.dictionary.PartitionDictionary`
+stripe, and batches travel as flat int64 ``(s, p, o)`` rows plus a
+once-per-peer delta-dictionary for newly minted terms
+(:class:`~repro.parallel.messages.EncodedBatch`).
+
+Two executors share the protocol:
+
+* :func:`run_async_inprocess` — workers as in-process objects, deliveries
+  drained from one pending pool.  ``delivery="shuffle"`` pops that pool in
+  seeded-random order, deliberately reordering message arrival — the
+  deterministic vehicle for proving termination is delivery-order
+  independent.
+* :func:`run_multiprocess_async` — one OS process per partition.  The
+  master relays each produced batch the moment it arrives; workers block
+  on their inbox, not on a round barrier.
+
+Both are differentially tested against the serial fixpoint and the
+lock-step oracle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datalog.ast import Rule
+from repro.parallel.messages import EncodedBatch
+from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
+from repro.parallel.stats import AsyncRunStats
+from repro.parallel.termination import CountingTermination
+from repro.parallel.worker import PartitionWorker
+from repro.rdf.dictionary import PartitionDictionary, TermDictionary
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+from repro.rdf.triple import Triple
+
+
+def build_base_dictionary(
+    partitions: Sequence[Graph],
+    extra: Sequence[Graph] = (),
+    rules: Sequence[Rule] = (),
+) -> TermDictionary:
+    """The shared base stripe: every term the master can see at setup,
+    encoded once.  Pass the rule base too — rule atoms are the only other
+    source of ground terms (head constants like class URIs), and seeding
+    them means delta-dictionary traffic only carries terms that genuinely
+    first exist at runtime."""
+    d = TermDictionary()
+    enc = d.encode
+    for g in list(partitions) + list(extra):
+        for t in g:
+            enc(t.s)
+            enc(t.p)
+            enc(t.o)
+    from repro.rdf.terms import Variable
+
+    for r in rules:
+        for atom in (*r.body, r.head):
+            for term in atom:
+                if not isinstance(term, Variable):
+                    enc(term)
+    return d
+
+
+def _all_rules(
+    rules_per_node: Sequence[Sequence[Rule]],
+    rule_sets: Sequence[Sequence[Rule]] | None,
+) -> list[Rule]:
+    out: list[Rule] = []
+    for rs in list(rules_per_node) + list(rule_sets or []):
+        out.extend(rs)
+    return out
+
+
+def _make_router(
+    router_kind: str,
+    owner_table: dict | None,
+    k: int,
+    rule_sets: Sequence[Sequence[Rule]] | None,
+) -> Router:
+    if router_kind == "data":
+        from repro.partitioning.base import TableOwner
+
+        return DataPartitionRouter(TableOwner(k, owner_table or {}))
+    return RulePartitionRouter(rule_sets or [])
+
+
+@dataclass
+class AsyncRunResult:
+    """Output of an asynchronous run: the unioned KB plus wire accounting."""
+
+    graph: Graph
+    stats: AsyncRunStats
+    #: Final sent/consumed counters (exposed for the termination tests).
+    forwarded: list[int]
+    consumed: list[int]
+
+
+# -- in-process executor ------------------------------------------------------
+
+
+def run_async_inprocess(
+    partitions: Sequence[Graph],
+    rules_per_node: Sequence[Sequence[Rule]],
+    router_kind: str,
+    owner_table: dict | None = None,
+    rule_sets: Sequence[Sequence[Rule]] | None = None,
+    delivery: str = "fifo",
+    seed: int = 0,
+    max_messages: int = 1_000_000,
+    seed_rule_terms: bool = True,
+) -> AsyncRunResult:
+    """Round-free run with in-process workers and controllable delivery.
+
+    ``seed_rule_terms=True`` (default) puts the rule base's ground terms
+    into the base dictionary, so delta messages carry only runtime-fresh
+    terms; the delta round-trip tests pass ``False`` to force every rule
+    constant through the delta path.
+
+    ``delivery`` picks which *channel* — a (sender, dest) pair — delivers
+    its oldest pending message next: ``"fifo"`` always the globally oldest
+    send, ``"lifo"`` the newest channel activity first, ``"shuffle"`` a
+    seeded-random channel each step.  Within a channel, order is always
+    preserved: the wire protocol (like the ``multiprocessing`` queues and
+    any MPI transport it stands in for) assumes FIFO channels — a delta-
+    dictionary entry must not arrive after a row that needs it — while
+    arrival order *across* channels is adversarial.  All delivery orders
+    must (and do) reach the same fixpoint; the shuffle mode is the
+    out-of-order test harness.
+    """
+    if delivery not in ("fifo", "lifo", "shuffle"):
+        raise ValueError(f"unknown delivery order {delivery!r}")
+    k = len(partitions)
+    if len(rules_per_node) != k:
+        raise ValueError("rules_per_node must match partitions")
+    base = build_base_dictionary(
+        partitions,
+        rules=_all_rules(rules_per_node, rule_sets) if seed_rule_terms else (),
+    )
+    router = _make_router(router_kind, owner_table, k, rule_sets)
+    workers = [
+        PartitionWorker(
+            node_id=i,
+            base=partitions[i],
+            rules=rules_per_node[i],
+            router=router,
+            dictionary=PartitionDictionary(base, i, k),
+        )
+        for i in range(k)
+    ]
+
+    stats = AsyncRunStats(k=k)
+    det = CountingTermination(k)
+    # Per-channel FIFO queues; `order` lists channels by last activity so
+    # fifo/lifo/shuffle can pick the next delivering channel.
+    from collections import deque
+
+    channels: dict[tuple[int, int], deque[EncodedBatch]] = {}
+    order: list[tuple[int, int]] = []
+    in_transit = 0
+
+    def _emit(batches: Sequence[EncodedBatch]) -> None:
+        nonlocal in_transit
+        for b in batches:
+            det.record_forward(b.dest)
+            stats.record_batch(b)
+            key = (b.sender, b.dest)
+            box = channels.get(key)
+            if box is None:
+                box = channels[key] = deque()
+            box.append(b)
+            order.append(key)
+            in_transit += 1
+
+    if delivery == "shuffle":
+        import random
+
+        rng = random.Random(seed)
+
+    for w in workers:
+        _emit(w.bootstrap().outgoing)
+        det.mark_bootstrapped(w.node_id)
+
+    delivered = 0
+    while in_transit:
+        if delivered >= max_messages:
+            raise RuntimeError(f"no termination after {max_messages} messages")
+        if delivery == "shuffle":
+            idx = rng.randrange(len(order))
+        elif delivery == "lifo":
+            idx = len(order) - 1
+        else:
+            idx = 0
+        key = order.pop(idx)
+        batch = channels[key].popleft()
+        in_transit -= 1
+        delivered += 1
+        result = workers[batch.dest].step([batch])
+        det.record_delivery(batch.dest)
+        _emit(result.outgoing)
+
+    if not det.quiescent():  # pragma: no cover - invariant check
+        raise RuntimeError("pending pool drained but counters disagree")
+
+    union = Graph()
+    for w in workers:
+        union.update(iter(w.output_graph()))
+    return AsyncRunResult(
+        graph=union,
+        stats=stats,
+        forwarded=list(det.forwarded),
+        consumed=list(det.consumed),
+    )
+
+
+# -- multiprocess executor ----------------------------------------------------
+
+
+@dataclass
+class _AsyncNodeConfig:
+    """Everything one async worker process needs (picklable, spawn-safe)."""
+
+    node_id: int
+    k: int
+    base_triples: list[Triple]
+    rules: list[Rule]
+    router_kind: str
+    owner_table: dict | None
+    rule_sets: list[list[Rule]] | None
+    base_terms: list[Term]
+
+
+def _async_worker_main(cfg: _AsyncNodeConfig, inbox: mp.Queue, outbox: mp.Queue) -> None:
+    """Worker process loop — no rounds.
+
+    Protocol:
+      master -> worker: ("tuples", EncodedBatch) | ("finish",)
+      worker -> master: ("produced", node_id, [EncodedBatch...], consumed)
+                        | ("output", node_id, [Triple...])
+    Every processed inbox message yields exactly one "produced" message
+    (possibly with zero batches) whose cumulative ``consumed`` count is the
+    acknowledgement the master's termination counting relies on.
+    """
+    base = TermDictionary.from_terms(cfg.base_terms)
+    worker = PartitionWorker(
+        node_id=cfg.node_id,
+        base=Graph(cfg.base_triples),
+        rules=cfg.rules,
+        router=_make_router(cfg.router_kind, cfg.owner_table, cfg.k, cfg.rule_sets),
+        dictionary=PartitionDictionary(base, cfg.node_id, cfg.k),
+    )
+    result = worker.bootstrap()
+    consumed = 0
+    outbox.put(("produced", cfg.node_id, result.outgoing, consumed))
+    while True:
+        msg = inbox.get()
+        if msg[0] == "finish":
+            outbox.put(("output", cfg.node_id, list(worker.output_graph())))
+            return
+        assert msg[0] == "tuples"
+        consumed += 1
+        result = worker.step([msg[1]])
+        outbox.put(("produced", cfg.node_id, result.outgoing, consumed))
+
+
+def run_multiprocess_async(
+    partitions: Sequence[Graph],
+    rules_per_node: Sequence[Sequence[Rule]],
+    router_kind: str,
+    owner_table: dict | None = None,
+    rule_sets: Sequence[Sequence[Rule]] | None = None,
+    max_messages: int = 1_000_000,
+    start_method: str | None = None,
+    idle_timeout: float = 120.0,
+    seed_rule_terms: bool = True,
+) -> Graph:
+    """Round-free execution across real processes; returns the unioned KB.
+
+    Same configuration surface as
+    :func:`repro.parallel.mp_backend.run_multiprocess` (the lock-step
+    differential oracle).  ``start_method=None`` uses the platform default
+    (fork on Linux, spawn on macOS/Windows); both work — every shipped
+    object is picklable and terms re-intern on arrival.
+    """
+    k = len(partitions)
+    if len(rules_per_node) != k:
+        raise ValueError("rules_per_node must match partitions")
+    base = build_base_dictionary(
+        partitions,
+        rules=_all_rules(rules_per_node, rule_sets) if seed_rule_terms else (),
+    )
+    base_terms = base.terms()
+    ctx = mp.get_context(start_method)
+    inboxes = [ctx.Queue() for _ in range(k)]
+    outbox = ctx.Queue()
+
+    processes = []
+    for i in range(k):
+        cfg = _AsyncNodeConfig(
+            node_id=i,
+            k=k,
+            base_triples=list(partitions[i]),
+            rules=list(rules_per_node[i]),
+            router_kind=router_kind,
+            owner_table=dict(owner_table) if owner_table else None,
+            rule_sets=[list(rs) for rs in rule_sets] if rule_sets else None,
+            base_terms=base_terms,
+        )
+        proc = ctx.Process(target=_async_worker_main, args=(cfg, inboxes[i], outbox))
+        proc.start()
+        processes.append(proc)
+
+    try:
+        det = CountingTermination(k)
+        relayed = 0
+        while not det.quiescent():
+            try:
+                msg = outbox.get(timeout=idle_timeout)
+            except queue_mod.Empty:
+                raise RuntimeError(
+                    f"async master idle for {idle_timeout}s without "
+                    "reaching quiescence — a worker likely died"
+                ) from None
+            kind, node_id, batches, consumed = msg
+            assert kind == "produced"
+            # Relay first, then account the ack: quiescence is only
+            # checked once this message's productions are in the counters.
+            for batch in batches:
+                if relayed >= max_messages:
+                    raise RuntimeError(
+                        f"no termination after {max_messages} messages"
+                    )
+                relayed += 1
+                det.record_forward(batch.dest)
+                inboxes[batch.dest].put(("tuples", batch))
+            det.record_ack(node_id, consumed)
+            det.mark_bootstrapped(node_id)
+
+        union = Graph()
+        for i in range(k):
+            inboxes[i].put(("finish",))
+        for _ in range(k):
+            kind, node_id, triples = outbox.get(timeout=idle_timeout)
+            assert kind == "output"
+            union.update(triples)
+        return union
+    finally:
+        for proc in processes:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

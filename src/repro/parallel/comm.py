@@ -23,13 +23,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Protocol
 
-from repro.parallel.messages import TupleBatch
+from repro.parallel.messages import Message, TupleBatch
 from repro.rdf.ntriples import parse_ntriples
 
 
 @dataclass
 class CommStats:
-    """Traffic accounting, aggregated per node pair and per node."""
+    """Traffic accounting, aggregated per node pair and per node.
+
+    Works for any :class:`~repro.parallel.messages.Message` — term-level
+    :class:`TupleBatch` and id-encoded
+    :class:`~repro.parallel.messages.EncodedBatch` alike; ``payload_bytes``
+    reflects whichever wire format actually traveled.
+    """
 
     messages: int = 0
     tuples: int = 0
@@ -39,7 +45,7 @@ class CommStats:
     #: bytes received, per destination node id
     received_bytes: dict[int, int] = field(default_factory=dict)
 
-    def record(self, batch: TupleBatch) -> None:
+    def record(self, batch: Message) -> None:
         size = batch.payload_bytes()
         self.messages += 1
         self.tuples += len(batch)
@@ -53,9 +59,9 @@ class CommBackend(Protocol):
 
     stats: CommStats
 
-    def send(self, batch: TupleBatch) -> None: ...
+    def send(self, batch: Message) -> None: ...
 
-    def recv_all(self, node_id: int) -> list[TupleBatch]: ...
+    def recv_all(self, node_id: int) -> list[Message]: ...
 
     def pending(self) -> int:
         """Number of batches in transit (for termination detection)."""
@@ -77,16 +83,16 @@ class InMemoryComm:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
-        self._mailboxes: list[deque[TupleBatch]] = [deque() for _ in range(k)]
+        self._mailboxes: list[deque[Message]] = [deque() for _ in range(k)]
         self.stats = CommStats()
 
-    def send(self, batch: TupleBatch) -> None:
+    def send(self, batch: Message) -> None:
         if not 0 <= batch.dest < self.k:
             raise ValueError(f"destination {batch.dest} outside [0, {self.k})")
         self.stats.record(batch)
         self._mailboxes[batch.dest].append(batch)
 
-    def recv_all(self, node_id: int) -> list[TupleBatch]:
+    def recv_all(self, node_id: int) -> list[Message]:
         box = self._mailboxes[node_id]
         out = list(box)
         box.clear()
@@ -116,6 +122,11 @@ class FileComm:
         self._seq = 0
 
     def send(self, batch: TupleBatch) -> None:
+        if not isinstance(batch, TupleBatch):
+            raise TypeError(
+                "FileComm speaks the N-Triples spool format; id-encoded "
+                "batches belong to the async backend's queues"
+            )
         if not 0 <= batch.dest < self.k:
             raise ValueError(f"destination {batch.dest} outside [0, {self.k})")
         self.stats.record(batch)

@@ -1,18 +1,49 @@
 """Inter-partition message types.
 
-One message kind suffices for Algorithm 3: a batch of fresh tuples from one
-node to another, tagged with the sender's round.  Size accounting uses the
-N-Triples serialization length — the actual on-the-wire format of the file
-backend, and a fair proxy for any text-based IPC.
+Two message kinds:
+
+* :class:`TupleBatch` — triples as term objects, sized by their N-Triples
+  serialization.  The original text-based wire format; still the payload
+  of the shared-file backend and the lock-step differential oracle.
+* :class:`EncodedBatch` — triples as three parallel int64 id columns plus
+  a *delta-dictionary* (the ``(id, term)`` pairs the receiver has not seen
+  yet).  The id-encoded wire format of the asynchronous runtime: a tuple
+  costs 24 bytes on the wire, and a term's serialization travels at most
+  once per (sender, receiver) pair.
+
+Both cache their payload size at first computation — cost models call
+``payload_bytes()`` repeatedly, and re-serializing every triple per call
+made that quadratic in practice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Protocol, Sequence
+
+import numpy as np
 
 from repro.rdf.ntriples import triple_to_ntriples
+from repro.rdf.terms import Term
 from repro.rdf.triple import Triple
+
+#: Wire cost of one id-encoded tuple: three little-endian int64 columns.
+ROW_BYTES = 24
+#: Per-entry framing overhead of a delta-dictionary record: the 8-byte id
+#: plus a length prefix for the term's serialized form.
+DELTA_ENTRY_OVERHEAD = 12
+
+
+class Message(Protocol):
+    """What every wire message exposes to transports and cost models."""
+
+    sender: int
+    dest: int
+    round_no: int
+
+    def __len__(self) -> int: ...
+
+    def payload_bytes(self) -> int: ...
 
 
 @dataclass(frozen=True)
@@ -23,6 +54,10 @@ class TupleBatch:
     dest: int
     round_no: int
     triples: tuple[Triple, ...]
+    #: Cached N-Triples serialization (computed once, lazily).
+    _serialized: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def make(
@@ -35,8 +70,112 @@ class TupleBatch:
 
     def payload_bytes(self) -> int:
         """Serialized size (N-Triples, one line per tuple, newline
-        included) — the unit every cost model consumes."""
-        return sum(len(triple_to_ntriples(t)) + 1 for t in self.triples)
+        included) — the unit every cost model consumes.  O(1) after the
+        first call."""
+        return len(self.serialize())
 
     def serialize(self) -> str:
-        return "".join(triple_to_ntriples(t) + "\n" for t in self.triples)
+        cached = self._serialized
+        if cached is None:
+            cached = "".join(triple_to_ntriples(t) + "\n" for t in self.triples)
+            # Frozen dataclass: the cache slot is set through the back
+            # door; it is derived state, invisible to eq/repr.
+            object.__setattr__(self, "_serialized", cached)
+        return cached
+
+
+class EncodedBatch:
+    """A batch of id-encoded tuples plus the delta-dictionary to read them.
+
+    ``s_ids``/``p_ids``/``o_ids`` are parallel int64 columns; row i is one
+    triple.  ``delta`` carries the ``(id, term)`` pairs for ids the
+    destination cannot yet decode — newly minted terms ship exactly once
+    per peer, enforced by the sender's per-destination bookkeeping
+    (:class:`repro.parallel.worker.PartitionWorker`).  Ship-once requires
+    FIFO (sender, dest) channels: a later batch may reference an id whose
+    delta entry traveled in an earlier one.  Queue and MPI transports
+    guarantee this; only cross-channel arrival order is unconstrained.
+
+    The payload size is fixed at construction: 24 bytes per row plus the
+    delta entries' serialized terms — by design O(1) to query, since the
+    async master asks for it on every relay.
+    """
+
+    __slots__ = ("sender", "dest", "round_no", "s_ids", "p_ids", "o_ids",
+                 "delta", "_payload_bytes")
+
+    def __init__(
+        self,
+        sender: int,
+        dest: int,
+        round_no: int,
+        s_ids: np.ndarray,
+        p_ids: np.ndarray,
+        o_ids: np.ndarray,
+        delta: tuple[tuple[int, Term], ...] = (),
+    ) -> None:
+        if not (len(s_ids) == len(p_ids) == len(o_ids)):
+            raise ValueError("id columns must have equal length")
+        self.sender = sender
+        self.dest = dest
+        self.round_no = round_no
+        self.s_ids = s_ids
+        self.p_ids = p_ids
+        self.o_ids = o_ids
+        self.delta = tuple(delta)
+        self._payload_bytes = ROW_BYTES * len(s_ids) + sum(
+            DELTA_ENTRY_OVERHEAD + len(term.n3().encode("utf-8"))
+            for _tid, term in self.delta
+        )
+
+    @classmethod
+    def make(
+        cls,
+        sender: int,
+        dest: int,
+        round_no: int,
+        rows: Sequence[tuple[int, int, int]],
+        delta: Sequence[tuple[int, Term]] = (),
+    ) -> "EncodedBatch":
+        """Build from ``(s_id, p_id, o_id)`` rows."""
+        if rows:
+            arr = np.asarray(rows, dtype=np.int64)
+            s_ids, p_ids, o_ids = arr[:, 0], arr[:, 1], arr[:, 2]
+        else:
+            s_ids = p_ids = o_ids = np.empty(0, dtype=np.int64)
+        return cls(sender, dest, round_no, s_ids, p_ids, o_ids, tuple(delta))
+
+    def __len__(self) -> int:
+        return len(self.s_ids)
+
+    def payload_bytes(self) -> int:
+        return self._payload_bytes
+
+    def rows(self) -> list[tuple[int, int, int]]:
+        """The id rows as Python int tuples (dedup/test helper)."""
+        return list(
+            zip(
+                (int(i) for i in self.s_ids),
+                (int(i) for i in self.p_ids),
+                (int(i) for i in self.o_ids),
+            )
+        )
+
+    def decode(self, dictionary) -> list[Triple]:
+        """Materialize term-level triples.  Registers this batch's delta
+        into ``dictionary`` (a :class:`~repro.rdf.dictionary.PartitionDictionary`
+        or anything with ``apply_delta``/``decode``) first, so rows are
+        always decodable."""
+        if self.delta:
+            dictionary.apply_delta(self.delta)
+        dec = dictionary.decode
+        return [
+            Triple(dec(int(s)), dec(int(p)), dec(int(o)))
+            for s, p, o in zip(self.s_ids, self.p_ids, self.o_ids)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<EncodedBatch {self.sender}->{self.dest} round={self.round_no} "
+            f"rows={len(self)} delta={len(self.delta)}>"
+        )

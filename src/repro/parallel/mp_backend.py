@@ -88,13 +88,18 @@ def run_multiprocess(
     owner_table: dict | None = None,
     rule_sets: Sequence[Sequence[Rule]] | None = None,
     max_rounds: int = 1000,
-    start_method: str = "fork",
+    start_method: str | None = None,
 ) -> Graph:
     """Execute Algorithm 3 across real processes; returns the unioned KB.
 
     ``partitions[i]`` and ``rules_per_node[i]`` configure node i.  For
     ``router_kind="data"`` pass the ``owner_table`` (term -> partition);
     for ``"rule"`` pass the ``rule_sets`` used for body-atom routing.
+
+    ``start_method=None`` uses the platform default (``fork`` on Linux,
+    ``spawn`` on macOS/Windows).  Both are supported: the worker entry
+    point and every config field are picklable, and terms re-intern on
+    unpickling, so nothing depends on inherited process state.
     """
     k = len(partitions)
     if len(rules_per_node) != k:

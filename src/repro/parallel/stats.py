@@ -26,6 +26,38 @@ class NodeRoundStats:
 
 
 @dataclass
+class AsyncRunStats:
+    """Accounting for one asynchronous (round-free) run.
+
+    There are no rounds to tabulate; what matters is total wire traffic —
+    messages relayed, tuple rows, payload bytes, delta-dictionary entries
+    shipped — plus per-node delivery counts (how unevenly the inbox load
+    spread), which the cost models consume in place of Fig 2's per-round
+    series.
+    """
+
+    k: int
+    messages: int = 0
+    tuples: int = 0
+    payload_bytes: int = 0
+    delta_terms: int = 0
+    #: Messages delivered to each node.
+    deliveries: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.deliveries:
+            self.deliveries = [0] * self.k
+
+    def record_batch(self, batch) -> None:
+        """Account one relayed batch (TupleBatch or EncodedBatch)."""
+        self.messages += 1
+        self.tuples += len(batch)
+        self.payload_bytes += batch.payload_bytes()
+        self.delta_terms += len(getattr(batch, "delta", ()))
+        self.deliveries[batch.dest] += 1
+
+
+@dataclass
 class RunStats:
     """Per-round, per-node measurements of a full parallel run.
 

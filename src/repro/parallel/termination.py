@@ -1,0 +1,91 @@
+"""Termination detection for the asynchronous (round-free) runtime.
+
+The lock-step driver detects termination trivially: a barrier ends every
+round, so "no batches produced anywhere" is directly observable.  Remove
+the barrier and the question becomes the classic distributed-termination
+problem: a worker that looks idle may be about to receive a tuple that
+wakes it up.
+
+:class:`CountingTermination` is Safra-style message counting collapsed
+onto this runtime's star topology, where the master is the only channel
+(it relays every batch, as the paper's shared filesystem did).  Invariants
+that make the counting sound:
+
+* The master increments ``forwarded[i]`` *before* enqueueing a batch to
+  worker i, and is single-threaded: counts never lag the channel.
+* A worker processes one inbox message at a time and, after finishing it,
+  sends exactly one acknowledgement carrying its cumulative consumed count
+  *and* whatever batches that processing produced — the ack and the
+  production travel together, so the master can never observe the ack
+  without having the production in hand.
+
+Under those invariants, once every worker has bootstrapped and
+``consumed[i] == forwarded[i]`` holds for all i at the master, every
+message ever sent has been fully processed, every production it triggered
+has reached the master and been relayed (bumping ``forwarded`` again if it
+was non-empty), and every worker is blocked on an empty inbox — the global
+fixpoint.  No white/black token round trip is needed because the star
+center sees every edge.
+"""
+
+from __future__ import annotations
+
+
+class CountingTermination:
+    """Master-side sent/received counters with an exact quiescence test.
+
+    >>> det = CountingTermination(2)
+    >>> det.mark_bootstrapped(0); det.mark_bootstrapped(1)
+    >>> det.quiescent()
+    True
+    >>> det.record_forward(1)
+    >>> det.quiescent()
+    False
+    >>> det.record_ack(1, consumed=1)
+    >>> det.quiescent()
+    True
+    """
+
+    __slots__ = ("k", "forwarded", "consumed", "_bootstrapped")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        #: Messages the master has relayed to each worker.
+        self.forwarded = [0] * k
+        #: Each worker's last-reported cumulative processed count.
+        self.consumed = [0] * k
+        self._bootstrapped = [False] * k
+
+    def mark_bootstrapped(self, node_id: int) -> None:
+        """Worker ``node_id``'s bootstrap production has been received.
+        Until every worker has reported in, quiescence is undecidable (an
+        unbooted worker may still produce)."""
+        self._bootstrapped[node_id] = True
+
+    def record_forward(self, dest: int) -> None:
+        self.forwarded[dest] += 1
+
+    def record_ack(self, node_id: int, consumed: int) -> None:
+        """Absolute cumulative count from a worker's acknowledgement."""
+        if consumed < self.consumed[node_id]:
+            raise ValueError(
+                f"node {node_id} ack went backwards: "
+                f"{consumed} < {self.consumed[node_id]}"
+            )
+        self.consumed[node_id] = consumed
+
+    def record_delivery(self, node_id: int) -> None:
+        """In-process variant: one message was just consumed by
+        ``node_id`` (increments rather than reports)."""
+        self.consumed[node_id] += 1
+
+    def in_flight(self) -> int:
+        """Messages forwarded but not yet acknowledged as consumed."""
+        return sum(f - c for f, c in zip(self.forwarded, self.consumed))
+
+    def quiescent(self) -> bool:
+        """True iff every worker bootstrapped and every forwarded message
+        is acknowledged — the exact global-termination condition."""
+        return all(self._bootstrapped) and self.forwarded == self.consumed

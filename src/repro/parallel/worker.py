@@ -31,9 +31,11 @@ from typing import Iterable, Literal, Sequence
 from repro.datalog.ast import Rule
 from repro.datalog.backward import materialize_backward
 from repro.datalog.engine import SemiNaiveEngine
-from repro.parallel.messages import TupleBatch
+from repro.parallel.messages import EncodedBatch, Message, TupleBatch
 from repro.parallel.routing import Router
+from repro.rdf.dictionary import PartitionDictionary
 from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
 from repro.rdf.triple import Triple
 from repro.util.timing import Stopwatch
 
@@ -46,7 +48,7 @@ class RoundResult:
 
     node_id: int
     round_no: int
-    outgoing: list[TupleBatch]
+    outgoing: list[Message]
     derived: int
     received: int
     reasoning_time: float
@@ -82,6 +84,7 @@ class PartitionWorker:
         schema: Graph | None = None,
         forward_received: bool = False,
         compile_rules: bool = True,
+        dictionary: PartitionDictionary | None = None,
     ) -> None:
         self.node_id = node_id
         self.graph = base.copy()
@@ -103,8 +106,22 @@ class PartitionWorker:
         #: is no longer the owner and must be forwarded onward.
         self.forward_received = forward_received
         self.round_no = 0
+        #: When a dictionary is supplied the worker speaks the id-encoded
+        #: wire protocol: fresh tuples are encoded once at the routing
+        #: boundary, the sent-dedup and (where the router supports it)
+        #: destination lookups key on int id-triples, and outgoing batches
+        #: are :class:`EncodedBatch` rows plus a per-destination
+        #: delta-dictionary of newly minted terms.
+        self.dictionary = dictionary
+        if dictionary is not None:
+            bind = getattr(router, "bind_dictionary", None)
+            if bind is not None and getattr(router, "_subject_owner", None) is None:
+                bind(dictionary)
         #: Tuples already sent (to anyone) — each tuple is routed once.
-        self._sent: set[Triple] = set()
+        #: Term triples, or id rows when the dictionary is active.
+        self._sent: set = set()
+        #: Per destination: non-base ids whose delta entry already shipped.
+        self._known_by_dest: dict[int, set[int]] = {}
 
     # -- rounds --------------------------------------------------------------
 
@@ -124,12 +141,21 @@ class PartitionWorker:
         return self._finish_round(fresh, received=0,
                                   reasoning_time=reasoning_time, work=work)
 
-    def step(self, incoming: Iterable[TupleBatch]) -> RoundResult:
-        """One communication round: ingest received batches, resume the
-        fixpoint with them as the delta."""
+    def step(self, incoming: Iterable[Message]) -> RoundResult:
+        """One communication round: ingest received batches (term-level or
+        id-encoded), resume the fixpoint with them as the delta."""
         received: list[Triple] = []
         for batch in incoming:
-            for t in batch.triples:
+            if isinstance(batch, EncodedBatch):
+                if self.dictionary is None:
+                    raise RuntimeError(
+                        "received an EncodedBatch but this worker has no "
+                        "dictionary to decode it"
+                    )
+                triples: Iterable[Triple] = batch.decode(self.dictionary)
+            else:
+                triples = batch.triples
+            for t in triples:
                 if t not in self.graph:
                     received.append(t)
         watch = Stopwatch()
@@ -158,19 +184,23 @@ class PartitionWorker:
         reasoning_time: float, work: int,
         routable: Sequence[Triple] | None = None,
     ) -> RoundResult:
-        outgoing_map: dict[int, list[Triple]] = {}
-        for t in (routable if routable is not None else fresh):
-            if t in self._sent:
-                continue
-            dests = self.router.destinations(self.node_id, t)
-            if dests:
-                self._sent.add(t)
-                for d in dests:
-                    outgoing_map.setdefault(d, []).append(t)
-        batches = [
-            TupleBatch.make(self.node_id, dest, self.round_no, triples)
-            for dest, triples in sorted(outgoing_map.items())
-        ]
+        to_route = routable if routable is not None else fresh
+        if self.dictionary is not None:
+            batches: list[Message] = self._route_encoded(to_route)
+        else:
+            outgoing_map: dict[int, list[Triple]] = {}
+            for t in to_route:
+                if t in self._sent:
+                    continue
+                dests = self.router.destinations(self.node_id, t)
+                if dests:
+                    self._sent.add(t)
+                    for d in dests:
+                        outgoing_map.setdefault(d, []).append(t)
+            batches = [
+                TupleBatch.make(self.node_id, dest, self.round_no, triples)
+                for dest, triples in sorted(outgoing_map.items())
+            ]
         result = RoundResult(
             node_id=self.node_id,
             round_no=self.round_no,
@@ -182,6 +212,49 @@ class PartitionWorker:
         )
         self.round_no += 1
         return result
+
+    def _route_encoded(self, triples: Sequence[Triple]) -> list[Message]:
+        """Id-encoded routing: each fresh tuple is encoded exactly once;
+        dedup and (for owner-table routers) destination lookups are int
+        probes; a term's serialization ships to a given peer at most once,
+        in the batch's delta-dictionary."""
+        d = self.dictionary
+        assert d is not None
+        enc = d.encode
+        base_size = d.base_size
+        by_id = (
+            self.router.destinations_by_id
+            if getattr(self.router, "_subject_owner", None) is not None
+            else None
+        )
+        rows_by_dest: dict[int, list[tuple[int, int, int]]] = {}
+        delta_by_dest: dict[int, list[tuple[int, Term]]] = {}
+        for t in triples:
+            row = (enc(t.s), enc(t.p), enc(t.o))
+            if row in self._sent:
+                continue
+            if by_id is not None:
+                dests = by_id(self.node_id, row[0], row[2], t)
+            else:
+                dests = self.router.destinations(self.node_id, t)
+            if not dests:
+                continue
+            self._sent.add(row)
+            for dest in dests:
+                rows_by_dest.setdefault(dest, []).append(row)
+                if row[0] >= base_size or row[1] >= base_size or row[2] >= base_size:
+                    known = self._known_by_dest.setdefault(dest, set())
+                    for tid, term in zip(row, t):
+                        if tid >= base_size and tid not in known:
+                            known.add(tid)
+                            delta_by_dest.setdefault(dest, []).append((tid, term))
+        return [
+            EncodedBatch.make(
+                self.node_id, dest, self.round_no, rows,
+                delta_by_dest.get(dest, ()),
+            )
+            for dest, rows in sorted(rows_by_dest.items())
+        ]
 
     # -- results ---------------------------------------------------------------
 

@@ -58,6 +58,21 @@ class TableOwner:
             return self._fallback(term)
         return pid
 
+    def id_table(self, dictionary) -> dict[int, int]:
+        """The owner table re-keyed by dictionary id.
+
+        Covers the terms already present in ``dictionary`` (the base
+        stripe the master encoded); the id-routing layer consults this
+        with two int probes per tuple and falls back to the term-level
+        owner only for ids minted after partitioning.
+        """
+        out: dict[int, int] = {}
+        for term, pid in self.table.items():
+            tid = dictionary.get(term)
+            if tid is not None:
+                out[tid] = pid
+        return out
+
     def __len__(self) -> int:
         return len(self.table)
 

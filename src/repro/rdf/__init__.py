@@ -12,7 +12,7 @@ from repro.rdf.terms import URI, Literal, BNode, Term, Variable, is_resource
 from repro.rdf.triple import Triple
 from repro.rdf.namespace import Namespace, RDF, RDFS, OWL, XSD
 from repro.rdf.graph import Graph
-from repro.rdf.dictionary import TermDictionary, EncodedGraph
+from repro.rdf.dictionary import EncodedGraph, PartitionDictionary, TermDictionary
 from repro.rdf.query import BGPQuery, BGPStats
 from repro.rdf.turtle import (
     TurtleParseError,
@@ -51,6 +51,7 @@ __all__ = [
     "BGPQuery",
     "BGPStats",
     "TermDictionary",
+    "PartitionDictionary",
     "EncodedGraph",
     "NTriplesParseError",
     "TurtleParseError",

@@ -4,10 +4,23 @@ Large-scale RDF systems (and the paper's METIS input) operate on integer
 node ids, not term objects.  :class:`TermDictionary` provides a stable
 bijection term→id, and :class:`EncodedGraph` materializes a triple set as
 three parallel ``numpy`` id arrays — the representation the multilevel graph
-partitioner and the replication metrics consume.
+partitioner, the replication metrics, and the id-encoded wire protocol
+consume.
 
 Ids are dense, assigned in first-seen order, which keeps the partitioner's
 CSR construction a single bincount/cumsum pass.
+
+:class:`PartitionDictionary` is the partition-aware view used by the
+parallel runtime: every worker starts from the same shared base dictionary
+(built by the master over the input KB) and mints ids for terms it first
+derives at runtime — literals, bnodes, rule-head constants — in a private
+id stripe, so two workers can never mint the same id for different terms.
+Newly minted ``(id, term)`` pairs travel once per peer as a
+*delta-dictionary* alongside the id-encoded tuple rows
+(:class:`repro.parallel.messages.EncodedBatch`); thereafter the term is
+pure int traffic.  Two workers may concurrently mint *different* ids for
+the *same* new term — that is fine: both ids decode to the one interned
+term object, so graphs reconcile set-equal on decode.
 """
 
 from __future__ import annotations
@@ -31,11 +44,16 @@ class TermDictionary:
     URI('ex:a')
     """
 
-    __slots__ = ("_to_id", "_terms")
+    __slots__ = ("_to_id", "_terms", "_is_resource", "_resource_arr")
 
     def __init__(self) -> None:
         self._to_id: dict[Term, int] = {}
         self._terms: list[Term] = []
+        #: Parallel to ``_terms``: True where the term is a URI/BNode.
+        #: Maintained at encode time so decode-side consumers can test
+        #: resource-ness of whole id columns without a Python loop.
+        self._is_resource: list[bool] = []
+        self._resource_arr: np.ndarray | None = None
 
     def encode(self, term: Term) -> int:
         """Id for ``term``, assigning the next dense id on first sight."""
@@ -44,14 +62,31 @@ class TermDictionary:
             tid = len(self._terms)
             self._to_id[term] = tid
             self._terms.append(term)
+            self._is_resource.append(is_resource(term))
+            self._resource_arr = None
         return tid
 
     def encode_existing(self, term: Term) -> int:
         """Id for a term that must already be present (raises ``KeyError``)."""
         return self._to_id[term]
 
+    def get(self, term: Term) -> int | None:
+        """Id for ``term`` if present, else ``None`` (no assignment)."""
+        return self._to_id.get(term)
+
     def decode(self, tid: int) -> Term:
         return self._terms[tid]
+
+    def resource_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean array: ``mask[i]`` iff ``ids[i]`` names a URI/BNode.
+
+        Vectorized via the maintained per-id resource flags; the flag
+        array is rebuilt lazily after dictionary growth.
+        """
+        arr = self._resource_arr
+        if arr is None or len(arr) != len(self._terms):
+            arr = self._resource_arr = np.asarray(self._is_resource, dtype=bool)
+        return arr[ids]
 
     def __contains__(self, term: Term) -> bool:
         return term in self._to_id
@@ -64,6 +99,102 @@ class TermDictionary:
 
     def items(self) -> Iterator[tuple[Term, int]]:
         return iter(self._to_id.items())
+
+    def terms(self) -> list[Term]:
+        """The id->term list (index i holds the term with id i) — the
+        master ships this to workers to reconstruct an identical base."""
+        return list(self._terms)
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[Term]) -> "TermDictionary":
+        """Rebuild from an id-ordered term list (inverse of :meth:`terms`)."""
+        d = cls()
+        for term in terms:
+            d.encode(term)
+        return d
+
+
+class PartitionDictionary:
+    """One worker's partition-aware view over a shared base dictionary.
+
+    Ids split into two ranges:
+
+    * ``[0, len(base))`` — the base stripe, identical on every worker.
+    * ``base_size + j*k + node_id`` for j = 0, 1, ... — this worker's
+      private stripe for terms first seen at runtime.  Stripes of distinct
+      workers are disjoint by construction, so no coordination is needed
+      to mint an id.
+
+    Foreign ids (minted by peers, learned through a received delta) are
+    registered for decode; when this worker later derives the same term it
+    reuses the foreign id rather than minting a duplicate, keeping dedup
+    and traffic tight.
+    """
+
+    __slots__ = ("base", "node_id", "k", "_base_size", "_to_id", "_by_id",
+                 "_minted")
+
+    def __init__(self, base: TermDictionary, node_id: int, k: int) -> None:
+        if not 0 <= node_id < k:
+            raise ValueError(f"node_id {node_id} outside [0, {k})")
+        self.base = base
+        self.node_id = node_id
+        self.k = k
+        self._base_size = len(base)
+        #: term -> id for non-base terms (locally minted or foreign).
+        self._to_id: dict[Term, int] = {}
+        #: id -> term for non-base ids.
+        self._by_id: dict[int, Term] = {}
+        #: Count of ids minted locally (j in the stripe formula).
+        self._minted = 0
+
+    def encode(self, term: Term) -> int:
+        """Id for ``term``: base id, known non-base id, or a fresh id in
+        this worker's private stripe."""
+        tid = self.base.get(term)
+        if tid is not None:
+            return tid
+        tid = self._to_id.get(term)
+        if tid is not None:
+            return tid
+        tid = self._base_size + self._minted * self.k + self.node_id
+        self._minted += 1
+        self._to_id[term] = tid
+        self._by_id[tid] = term
+        return tid
+
+    @property
+    def base_size(self) -> int:
+        """Ids below this are base-stripe (known to every worker)."""
+        return self._base_size
+
+    def get(self, term: Term) -> int | None:
+        tid = self.base.get(term)
+        if tid is None:
+            tid = self._to_id.get(term)
+        return tid
+
+    def decode(self, tid: int) -> Term:
+        if tid < self._base_size:
+            return self.base.decode(tid)
+        return self._by_id[tid]
+
+    def apply_delta(self, entries: Sequence[tuple[int, Term]]) -> None:
+        """Register a received delta-dictionary: peer-minted (id, term)
+        pairs.  The term keeps its first-registered local encoding (a peer
+        id never displaces one this worker already uses), but every
+        registered id becomes decodable."""
+        for tid, term in entries:
+            if tid in self._by_id:
+                continue
+            self._by_id[tid] = term
+            self._to_id.setdefault(term, tid)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self.base or term in self._to_id
+
+    def __len__(self) -> int:
+        return self._base_size + len(self._by_id)
 
 
 class EncodedGraph:
@@ -131,22 +262,12 @@ class EncodedGraph:
     def resource_ids(self) -> np.ndarray:
         """Sorted unique ids of resource nodes (subjects, plus objects that
         are URIs/BNodes) — the vertex set for partitioning."""
-        d = self.dictionary
-        obj_resource_mask = np.fromiter(
-            (is_resource(d.decode(int(i))) for i in self.o_ids),
-            dtype=bool,
-            count=len(self.o_ids),
-        )
-        return np.union1d(self.s_ids, self.o_ids[obj_resource_mask])
+        mask = self.dictionary.resource_mask(self.o_ids)
+        return np.union1d(self.s_ids, self.o_ids[mask])
 
     def edges(self) -> np.ndarray:
         """(m, 2) array of (subject_id, object_id) rows for triples whose
         object is a resource — the edge list of the RDF graph in the paper's
         partitioning model.  Self-loops are kept (they don't affect cuts)."""
-        d = self.dictionary
-        mask = np.fromiter(
-            (is_resource(d.decode(int(i))) for i in self.o_ids),
-            dtype=bool,
-            count=len(self.o_ids),
-        )
+        mask = self.dictionary.resource_mask(self.o_ids)
         return np.stack([self.s_ids[mask], self.o_ids[mask]], axis=1)

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.rdf import EncodedGraph, Graph, Literal, TermDictionary, URI
+from repro.rdf import (
+    EncodedGraph,
+    Graph,
+    Literal,
+    PartitionDictionary,
+    TermDictionary,
+    URI,
+)
 
 
 class TestTermDictionary:
@@ -29,6 +36,95 @@ class TestTermDictionary:
         d.encode(URI("ex:a"))
         assert URI("ex:a") in d
         assert list(d) == [URI("ex:a")]
+
+    def test_get_without_assignment(self):
+        d = TermDictionary()
+        assert d.get(URI("ex:a")) is None
+        assert len(d) == 0
+        d.encode(URI("ex:a"))
+        assert d.get(URI("ex:a")) == 0
+
+    def test_resource_mask_tracks_kinds(self):
+        d = TermDictionary()
+        d.encode(URI("ex:a"))
+        d.encode(Literal("x"))
+        d.encode(URI("ex:b"))
+        mask = d.resource_mask(np.array([0, 1, 2, 1]))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_resource_mask_refreshes_after_growth(self):
+        d = TermDictionary()
+        d.encode(URI("ex:a"))
+        assert d.resource_mask(np.array([0])).tolist() == [True]
+        d.encode(Literal("x"))
+        assert d.resource_mask(np.array([0, 1])).tolist() == [True, False]
+
+    def test_terms_round_trip(self):
+        d = TermDictionary()
+        for name in ("a", "b", "c"):
+            d.encode(URI(f"ex:{name}"))
+        rebuilt = TermDictionary.from_terms(d.terms())
+        assert [rebuilt.encode_existing(t) for t in d] == [0, 1, 2]
+
+
+class TestPartitionDictionary:
+    @pytest.fixture
+    def base(self):
+        d = TermDictionary()
+        d.encode(URI("ex:a"))
+        d.encode(URI("ex:p"))
+        return d
+
+    def test_base_ids_pass_through(self, base):
+        pd = PartitionDictionary(base, node_id=0, k=2)
+        assert pd.encode(URI("ex:a")) == 0
+        assert pd.decode(1) == URI("ex:p")
+        assert pd.base_size == 2
+
+    def test_minted_ids_in_private_stripe(self, base):
+        p0 = PartitionDictionary(base, node_id=0, k=2)
+        p1 = PartitionDictionary(base, node_id=1, k=2)
+        a = p0.encode(URI("ex:new1"))
+        b = p0.encode(URI("ex:new2"))
+        c = p1.encode(URI("ex:new1"))
+        assert a == 2 and b == 4  # base_size + j*k + 0
+        assert c == 3  # base_size + 0*k + 1
+        # Disjoint stripes: same term, different workers, different ids...
+        assert a != c
+        # ...but both decode to the one interned term.
+        assert p0.decode(a) is p1.decode(c)
+
+    def test_encode_is_stable(self, base):
+        pd = PartitionDictionary(base, node_id=1, k=3)
+        tid = pd.encode(Literal("derived"))
+        assert pd.encode(Literal("derived")) == tid
+        assert pd.get(Literal("derived")) == tid
+        assert Literal("derived") in pd
+
+    def test_apply_delta_registers_foreign_ids(self, base):
+        p0 = PartitionDictionary(base, node_id=0, k=2)
+        p1 = PartitionDictionary(base, node_id=1, k=2)
+        tid = p0.encode(URI("ex:minted"))
+        p1.apply_delta([(tid, URI("ex:minted"))])
+        assert p1.decode(tid) == URI("ex:minted")
+        # The foreign id is reused rather than minting a duplicate.
+        assert p1.encode(URI("ex:minted")) == tid
+
+    def test_apply_delta_keeps_local_encoding(self, base):
+        """A peer's id for a term this worker already minted must not
+        displace the local encoding (rows already sent used it)."""
+        p0 = PartitionDictionary(base, node_id=0, k=2)
+        p1 = PartitionDictionary(base, node_id=1, k=2)
+        local = p1.encode(URI("ex:minted"))
+        foreign = p0.encode(URI("ex:minted"))
+        p1.apply_delta([(foreign, URI("ex:minted"))])
+        assert p1.encode(URI("ex:minted")) == local
+        assert p1.decode(foreign) == URI("ex:minted")
+        assert p1.decode(local) == URI("ex:minted")
+
+    def test_invalid_node_id(self, base):
+        with pytest.raises(ValueError):
+            PartitionDictionary(base, node_id=2, k=2)
 
 
 class TestEncodedGraph:

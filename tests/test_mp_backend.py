@@ -1,11 +1,19 @@
 """End-to-end tests of the real multiprocessing backend (small inputs;
-see the module docstring of repro.parallel.mp_backend for why)."""
+see the module docstring of repro.parallel.mp_backend for why).
+
+Parametrized over start methods: ``fork`` (Linux default) and ``spawn``
+(macOS/Windows default) — the backend must be correct under both, since
+spawn re-imports modules and re-interns every term from pickles.
+"""
+
+import multiprocessing as mp
 
 import pytest
 
 from repro.owl import HorstReasoner
 from repro.owl.compiler import compile_ontology
 from repro.owl.vocabulary import OWL, RDF
+from repro.parallel.async_backend import run_multiprocess_async
 from repro.parallel.mp_backend import run_multiprocess
 from repro.partitioning import GraphPartitioningPolicy, partition_data, partition_rules
 from repro.rdf import Graph, URI
@@ -13,6 +21,18 @@ from repro.rdf import Graph, URI
 
 def u(name):
     return URI(f"ex:{name}")
+
+
+START_METHODS = [
+    pytest.param(
+        method,
+        marks=pytest.mark.skipif(
+            method not in mp.get_all_start_methods(),
+            reason=f"start method {method!r} unavailable on this platform",
+        ),
+    )
+    for method in ("fork", "spawn")
+]
 
 
 @pytest.fixture
@@ -35,7 +55,8 @@ def data():
 
 
 @pytest.mark.slow
-def test_multiprocess_data_partitioning_matches_serial(tbox, data):
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_multiprocess_data_partitioning_matches_serial(tbox, data, start_method):
     crs = compile_ontology(tbox)
     serial = HorstReasoner(tbox).materialize(data)
     dp = partition_data(data, GraphPartitioningPolicy(seed=0), k=2)
@@ -44,12 +65,14 @@ def test_multiprocess_data_partitioning_matches_serial(tbox, data):
         [crs.rules] * 2,
         "data",
         owner_table=dict(dp.owner.table),
+        start_method=start_method,
     )
     assert union == serial.graph
 
 
 @pytest.mark.slow
-def test_multiprocess_rule_partitioning_matches_serial(tbox, data):
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_multiprocess_rule_partitioning_matches_serial(tbox, data, start_method):
     crs = compile_ontology(tbox)
     serial = HorstReasoner(tbox).materialize(data)
     rp = partition_rules(crs.rules, k=2, seed=0)
@@ -58,8 +81,28 @@ def test_multiprocess_rule_partitioning_matches_serial(tbox, data):
         rp.rule_sets,
         "rule",
         rule_sets=rp.rule_sets,
+        start_method=start_method,
     )
     assert union == serial.graph
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_multiprocess_async_matches_lockstep(tbox, data, start_method):
+    """The async id-encoded backend against the lock-step oracle, across
+    real processes, under both start methods."""
+    crs = compile_ontology(tbox)
+    dp = partition_data(data, GraphPartitioningPolicy(seed=0), k=2)
+    table = dict(dp.owner.table)
+    lockstep = run_multiprocess(
+        dp.partitions, [crs.rules] * 2, "data",
+        owner_table=table, start_method=start_method,
+    )
+    asynchronous = run_multiprocess_async(
+        dp.partitions, [crs.rules] * 2, "data",
+        owner_table=table, start_method=start_method,
+    )
+    assert asynchronous == lockstep
 
 
 def test_mismatched_configuration_rejected(data):

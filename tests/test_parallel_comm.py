@@ -2,18 +2,22 @@
 
 import pytest
 
+import numpy as np
+
 from repro.datalog import parse_rules
 from repro.owl.vocabulary import RDF
 from repro.parallel import (
     BroadcastRouter,
     DataPartitionRouter,
+    EncodedBatch,
     FileComm,
     InMemoryComm,
     RulePartitionRouter,
     TupleBatch,
 )
+from repro.parallel.messages import DELTA_ENTRY_OVERHEAD, ROW_BYTES
 from repro.partitioning.base import TableOwner
-from repro.rdf import Graph, Literal, Triple, URI
+from repro.rdf import Graph, Literal, PartitionDictionary, TermDictionary, Triple, URI
 
 
 def u(name):
@@ -38,6 +42,68 @@ class TestTupleBatch:
 
         b = batch()
         assert set(parse_ntriples(b.serialize())) == set(b.triples)
+
+    def test_serialization_is_cached(self):
+        b = batch()
+        # Identity, not equality: the second call must return the object
+        # computed by the first, proving payload_bytes() is O(1) after it.
+        assert b.serialize() is b.serialize()
+
+    def test_cache_invisible_to_equality(self):
+        a, b = batch(), batch()
+        a.serialize()
+        assert a == b
+
+
+class TestEncodedBatch:
+    def _dictionary(self):
+        base = TermDictionary()
+        for t in (u("s"), u("p"), u("o")):
+            base.encode(t)
+        return PartitionDictionary(base, node_id=0, k=2)
+
+    def test_make_and_len(self):
+        b = EncodedBatch.make(0, 1, 0, [(0, 1, 2), (2, 1, 0)])
+        assert len(b) == 2
+        assert b.rows() == [(0, 1, 2), (2, 1, 0)]
+
+    def test_empty_batch(self):
+        b = EncodedBatch.make(0, 1, 0, [])
+        assert len(b) == 0
+        assert b.payload_bytes() == 0
+
+    def test_payload_formula(self):
+        term = u("freshly-minted")
+        b = EncodedBatch.make(0, 1, 0, [(0, 1, 3), (3, 1, 2)], delta=[(3, term)])
+        expected = 2 * ROW_BYTES + DELTA_ENTRY_OVERHEAD + len(term.n3().encode())
+        assert b.payload_bytes() == expected
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedBatch(
+                0, 1, 0,
+                np.array([0], dtype=np.int64),
+                np.array([0, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_decode_round_trip(self):
+        pd = self._dictionary()
+        b = EncodedBatch.make(0, 1, 0, [(0, 1, 2)])
+        assert b.decode(pd) == [Triple(u("s"), u("p"), u("o"))]
+
+    def test_decode_applies_delta_first(self):
+        sender = self._dictionary()
+        minted = sender.encode(u("new"))
+        receiver = self._dictionary()
+        b = EncodedBatch.make(
+            0, 1, 0, [(0, 1, minted)], delta=[(minted, u("new"))]
+        )
+        assert b.decode(receiver) == [Triple(u("s"), u("p"), u("new"))]
+        # The delta is now registered: a later batch on the same channel
+        # may reference the id without re-shipping the term.
+        later = EncodedBatch.make(0, 1, 1, [(minted, 1, 0)])
+        assert later.decode(receiver) == [Triple(u("new"), u("p"), u("s"))]
 
 
 class TestInMemoryComm:
@@ -69,6 +135,14 @@ class TestInMemoryComm:
     def test_destination_out_of_range(self):
         with pytest.raises(ValueError):
             InMemoryComm(2).send(batch(dest=5))
+
+    def test_accepts_encoded_batches(self):
+        comm = InMemoryComm(2)
+        b = EncodedBatch.make(0, 1, 0, [(0, 1, 2)], delta=[(3, u("fresh"))])
+        comm.send(b)
+        assert comm.recv_all(1) == [b]
+        assert comm.stats.tuples == 1
+        assert comm.stats.payload_bytes == b.payload_bytes()
 
 
 class TestFileComm:
@@ -104,6 +178,11 @@ class TestFileComm:
         comm.send(TupleBatch.make(0, 1, 0, triples))
         received = comm.recv_all(1)
         assert list(received[0].triples) == triples
+
+    def test_rejects_encoded_batches(self, tmp_path):
+        comm = FileComm(2, tmp_path)
+        with pytest.raises(TypeError):
+            comm.send(EncodedBatch.make(0, 1, 0, [(0, 1, 2)]))
 
 
 class TestDataPartitionRouter:

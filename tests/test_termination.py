@@ -1,0 +1,78 @@
+"""Unit tests for the counting termination detector."""
+
+import pytest
+
+from repro.parallel.termination import CountingTermination
+
+
+def _booted(k):
+    det = CountingTermination(k)
+    for i in range(k):
+        det.mark_bootstrapped(i)
+    return det
+
+
+class TestCountingTermination:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CountingTermination(0)
+
+    def test_not_quiescent_before_all_bootstrapped(self):
+        det = CountingTermination(3)
+        det.mark_bootstrapped(0)
+        det.mark_bootstrapped(1)
+        assert not det.quiescent()
+        det.mark_bootstrapped(2)
+        assert det.quiescent()
+
+    def test_forwarded_message_blocks_quiescence(self):
+        det = _booted(2)
+        det.record_forward(1)
+        assert not det.quiescent()
+        assert det.in_flight() == 1
+
+    def test_ack_restores_quiescence(self):
+        det = _booted(2)
+        det.record_forward(1)
+        det.record_ack(1, consumed=1)
+        assert det.quiescent()
+        assert det.in_flight() == 0
+
+    def test_no_premature_stop_with_partial_acks(self):
+        """Three in flight, two acknowledged: must not report quiescent."""
+        det = _booted(2)
+        for _ in range(3):
+            det.record_forward(0)
+        det.record_ack(0, consumed=2)
+        assert not det.quiescent()
+        det.record_ack(0, consumed=3)
+        assert det.quiescent()
+
+    def test_incremental_delivery_variant(self):
+        det = _booted(3)
+        det.record_forward(2)
+        det.record_forward(2)
+        det.record_delivery(2)
+        assert not det.quiescent()
+        det.record_delivery(2)
+        assert det.quiescent()
+
+    def test_ack_going_backwards_rejected(self):
+        det = _booted(2)
+        det.record_forward(0)
+        det.record_ack(0, consumed=1)
+        with pytest.raises(ValueError):
+            det.record_ack(0, consumed=0)
+
+    def test_interleaved_traffic_only_quiesces_at_true_fixpoint(self):
+        """Simulate a ping-pong: every ack spawns a new forward until the
+        chain dies; quiescence must hold exactly at the end."""
+        det = _booted(2)
+        det.record_forward(0)
+        for hop in range(5):
+            assert not det.quiescent()
+            det.record_delivery(0 if hop % 2 == 0 else 1)
+            det.record_forward(1 if hop % 2 == 0 else 0)
+        assert not det.quiescent()
+        det.record_delivery(1)  # last message consumed, nothing produced
+        assert det.quiescent()
