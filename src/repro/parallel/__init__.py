@@ -29,10 +29,17 @@ Layers, bottom up:
   id-encoded wire protocol (:class:`EncodedBatch`): workers reason over
   batches as they arrive, in-process (with controllable delivery order)
   or across real processes.
+* :mod:`repro.parallel.supervisor` — worker liveness, typed
+  :class:`WorkerFailure` diagnosis of crashes/hangs, and the
+  ledger-replay recovery policy (:class:`SupervisionPolicy`).
+* :mod:`repro.parallel.faults` — deterministic fault injection: per-node
+  kill/freeze and per-channel drop/duplicate/delay plans for the
+  in-process executor, and an env-triggered hard-exit for the
+  multiprocess one.
 """
 
 from repro.parallel.messages import EncodedBatch, TupleBatch
-from repro.parallel.comm import CommBackend, FileComm, InMemoryComm
+from repro.parallel.comm import ChannelPool, CommBackend, FileComm, InMemoryComm
 from repro.parallel.routing import (
     BroadcastRouter,
     DataPartitionRouter,
@@ -55,6 +62,15 @@ from repro.parallel.async_backend import (
     run_async_inprocess,
     run_multiprocess_async,
 )
+from repro.parallel.supervisor import (
+    INJECTED_EXIT_CODE,
+    FailureRecord,
+    ProcessSupervisor,
+    SupervisionPolicy,
+    WorkerFailure,
+    shutdown_processes,
+)
+from repro.parallel.faults import ChannelFault, FaultPlan
 
 __all__ = [
     "TupleBatch",
@@ -65,6 +81,15 @@ __all__ = [
     "build_base_dictionary",
     "run_async_inprocess",
     "run_multiprocess_async",
+    "WorkerFailure",
+    "FailureRecord",
+    "SupervisionPolicy",
+    "ProcessSupervisor",
+    "shutdown_processes",
+    "INJECTED_EXIT_CODE",
+    "FaultPlan",
+    "ChannelFault",
+    "ChannelPool",
     "CommBackend",
     "InMemoryComm",
     "FileComm",

@@ -24,26 +24,57 @@ Two executors share the protocol:
   drained from one pending pool.  ``delivery="shuffle"`` pops that pool in
   seeded-random order, deliberately reordering message arrival — the
   deterministic vehicle for proving termination is delivery-order
-  independent.
+  independent.  A :class:`~repro.parallel.faults.FaultPlan` can kill or
+  freeze workers and drop/duplicate/delay batches deterministically.
 * :func:`run_multiprocess_async` — one OS process per partition.  The
   master relays each produced batch the moment it arrives; workers block
   on their inbox, not on a round barrier.
 
-Both are differentially tested against the serial fixpoint and the
-lock-step oracle.
+Both executors are *supervised* (:mod:`repro.parallel.supervisor`): a
+crashed, killed, or frozen worker surfaces as a typed
+:class:`~repro.parallel.supervisor.WorkerFailure` instead of a silent
+hang, and under ``degrade="recover"`` the master re-runs the lost node's
+partition — from its input triples plus the replay of every batch the
+master ever relayed to it (the counting-termination ledger records
+exactly that) — on a fresh worker incarnation with a bumped *epoch*.
+Epochs stamp every worker-originated message so stale messages from a
+dead incarnation can never corrupt the ledger, and each incarnation mints
+dictionary ids in its own stripe so a replacement can never re-issue an
+id the dead worker already shipped for a different term.
+
+Both executors are differentially tested against the serial fixpoint and
+the lock-step oracle, with and without injected faults.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.datalog.ast import Rule
-from repro.parallel.messages import EncodedBatch
+from repro.parallel.comm import ChannelPool
+from repro.parallel.faults import FaultPlan
+from repro.parallel.messages import (
+    Adopt,
+    Deliver,
+    Finish,
+    Heartbeat,
+    OutputMsg,
+    Produced,
+    Stop,
+)
 from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
 from repro.parallel.stats import AsyncRunStats
+from repro.parallel.supervisor import (
+    ProcessSupervisor,
+    SupervisionPolicy,
+    WorkerFailure,
+    parent_alive,
+)
 from repro.parallel.termination import CountingTermination
 from repro.parallel.worker import PartitionWorker
 from repro.rdf.dictionary import PartitionDictionary, TermDictionary
@@ -126,6 +157,9 @@ def run_async_inprocess(
     seed: int = 0,
     max_messages: int = 1_000_000,
     seed_rule_terms: bool = True,
+    faults: FaultPlan | None = None,
+    degrade: str = "abort",
+    max_retries: int = 2,
 ) -> AsyncRunResult:
     """Round-free run with in-process workers and controllable delivery.
 
@@ -144,80 +178,189 @@ def run_async_inprocess(
     arrival order *across* channels is adversarial.  All delivery orders
     must (and do) reach the same fixpoint; the shuffle mode is the
     out-of-order test harness.
+
+    ``faults`` schedules deterministic failures
+    (:class:`~repro.parallel.faults.FaultPlan`): killed and frozen
+    workers stall the counting ledger and surface as
+    :class:`~repro.parallel.supervisor.WorkerFailure`; with
+    ``degrade="recover"`` the executor re-runs the node from its input
+    partition plus the replay of its relay ledger (at most
+    ``max_retries`` recovery events per run).  Dropped batches are
+    retransmitted from the same ledger; duplicated and delayed batches
+    must be absorbed by receiver-side dedup and channel-FIFO alone.
     """
     if delivery not in ("fifo", "lifo", "shuffle"):
         raise ValueError(f"unknown delivery order {delivery!r}")
+    if degrade not in ("abort", "recover"):
+        raise ValueError(f'degrade must be "abort" or "recover", got {degrade!r}')
     k = len(partitions)
     if len(rules_per_node) != k:
         raise ValueError("rules_per_node must match partitions")
+    plan = faults or FaultPlan()
     base = build_base_dictionary(
         partitions,
         rules=_all_rules(rules_per_node, rule_sets) if seed_rule_terms else (),
     )
     router = _make_router(router_kind, owner_table, k, rule_sets)
+    # Each incarnation mints ids in its own stripe: worker i at epoch e
+    # uses stripe i + e*k of k*(max_retries+1), so a replacement can never
+    # re-issue an id its dead predecessor already shipped.
+    stripes = k * (max_retries + 1)
     workers = [
         PartitionWorker(
             node_id=i,
             base=partitions[i],
             rules=rules_per_node[i],
             router=router,
-            dictionary=PartitionDictionary(base, i, k),
+            dictionary=PartitionDictionary(base, i, stripes),
         )
         for i in range(k)
     ]
 
     stats = AsyncRunStats(k=k)
     det = CountingTermination(k)
-    # Per-channel FIFO queues; `order` lists channels by last activity so
-    # fifo/lifo/shuffle can pick the next delivering channel.
-    from collections import deque
-
-    channels: dict[tuple[int, int], deque[EncodedBatch]] = {}
-    order: list[tuple[int, int]] = []
-    in_transit = 0
-
-    def _emit(batches: Sequence[EncodedBatch]) -> None:
-        nonlocal in_transit
-        for b in batches:
-            det.record_forward(b.dest)
-            stats.record_batch(b)
-            key = (b.sender, b.dest)
-            box = channels.get(key)
-            if box is None:
-                box = channels[key] = deque()
-            box.append(b)
-            order.append(key)
-            in_transit += 1
-
+    rng = None
     if delivery == "shuffle":
         import random
 
         rng = random.Random(seed)
+    pool = ChannelPool(delivery, rng)
+
+    epoch = [0] * k
+    alive = [True] * k
+    frozen = [False] * k
+    node_delivered = [0] * k
+    #: Every batch ever forwarded to each node, in relay order — the
+    #: ledger recovery replays and drop-retransmission draws from.
+    relay_log: list[list] = [[] for _ in range(k)]
+    channel_seq: dict[tuple[int, int], int] = {}
+    #: Channel -> deliver nothing from it until `delivered` passes this.
+    held: dict[tuple[int, int], int] = {}
+    #: Dropped-by-fault batches awaiting ledger retransmission.
+    lost: list = []
+    delivered = 0
+    retries_used = 0
+
+    def _emit(batches) -> None:
+        for b in batches:
+            key = (b.sender, b.dest)
+            seq = channel_seq.get(key, 0)
+            channel_seq[key] = seq + 1
+            det.record_forward(b.dest)
+            stats.record_batch(b)
+            relay_log[b.dest].append(b)
+            fault = plan.channel_fault(key, seq)
+            if fault is None:
+                pool.emit(b)
+            elif fault.action == "drop":
+                lost.append(b)
+            elif fault.action == "duplicate":
+                # Two genuine wire copies: both counted, both consumed.
+                pool.emit(b)
+                det.record_forward(b.dest)
+                stats.record_batch(b)
+                relay_log[b.dest].append(b)
+                pool.emit(b)
+            else:  # delay: hold the whole channel, preserving its FIFO
+                held[key] = delivered + max(0, fault.delay)
+                pool.emit(b)
+
+    def _eligible(key: tuple[int, int]) -> bool:
+        dest = key[1]
+        return alive[dest] and not frozen[dest] and held.get(key, 0) <= delivered
+
+    def _revive(node: int) -> None:
+        epoch[node] += 1
+        alive[node] = True
+        frozen[node] = False
+        pool.discard_dest(node)
+        lost[:] = [b for b in lost if b.dest != node]
+        det.reset_node(node)
+        replacement = PartitionWorker(
+            node_id=node,
+            base=partitions[node],
+            rules=rules_per_node[node],
+            router=router,
+            dictionary=PartitionDictionary(
+                base, node + epoch[node] * k, stripes
+            ),
+            epoch=epoch[node],
+        )
+        workers[node] = replacement
+        boot = replacement.bootstrap()
+        det.mark_bootstrapped(node)
+        _emit(boot.outgoing)
+        # Ledger replay: everything the master ever forwarded to this
+        # node, in the original per-sender order (FIFO channels hold, so
+        # delta-dictionary entries still precede the rows that need them).
+        for b in list(relay_log[node]):
+            det.record_forward(node)
+            stats.retransmitted += 1
+            result = replacement.step([b])
+            det.record_delivery(node)
+            _emit(result.outgoing)
 
     for w in workers:
         _emit(w.bootstrap().outgoing)
         det.mark_bootstrapped(w.node_id)
 
-    delivered = 0
-    while in_transit:
+    while not det.quiescent():
         if delivered >= max_messages:
             raise RuntimeError(f"no termination after {max_messages} messages")
-        if delivery == "shuffle":
-            idx = rng.randrange(len(order))
-        elif delivery == "lifo":
-            idx = len(order) - 1
-        else:
-            idx = 0
-        key = order.pop(idx)
-        batch = channels[key].popleft()
-        in_transit -= 1
+        batch = pool.pop_next(_eligible)
+        if batch is None:
+            if held:
+                # Only held (delayed) channels remain deliverable: the
+                # delay has run its course, release them.
+                held.clear()
+                continue
+            redelivered = False
+            for b in list(lost):
+                if alive[b.dest] and not frozen[b.dest]:
+                    # The ledger noticed forwarded > consumed; retransmit.
+                    lost.remove(b)
+                    stats.retransmitted += 1
+                    pool.emit(b)
+                    redelivered = True
+            if redelivered:
+                continue
+            failed = [
+                i for i in range(k) if not alive[i] or frozen[i]
+            ]
+            if not failed:  # pragma: no cover - invariant check
+                raise RuntimeError("pool stalled but counters disagree")
+            reason = "killed" if any(not alive[i] for i in failed) else "frozen"
+            failure = WorkerFailure(
+                failed,
+                reason,
+                forwarded=[det.forwarded[i] for i in failed],
+                consumed=[det.consumed[i] for i in failed],
+                epoch=max(epoch[i] for i in failed),
+            )
+            stats.record_failure(failure.record())
+            if degrade != "recover" or retries_used >= max_retries:
+                raise failure
+            retries_used += 1
+            stats.retries += 1
+            for node in failed:
+                _revive(node)
+            continue
+        dest = batch.dest
+        if epoch[dest] == 0 and plan.kill_after.get(dest) == node_delivered[dest]:
+            # Crash mid-processing: the message is consumed off the wire
+            # but never acknowledged — exactly a worker dying in step().
+            alive[dest] = False
+            continue
+        if epoch[dest] == 0 and plan.freeze_after.get(dest) == node_delivered[dest]:
+            # Wedged, not dead: the message stays pending at channel head.
+            frozen[dest] = True
+            pool.push_front(batch)
+            continue
+        node_delivered[dest] += 1
         delivered += 1
-        result = workers[batch.dest].step([batch])
-        det.record_delivery(batch.dest)
+        result = workers[dest].step([batch])
+        det.record_delivery(dest)
         _emit(result.outgoing)
-
-    if not det.quiescent():  # pragma: no cover - invariant check
-        raise RuntimeError("pending pool drained but counters disagree")
 
     union = Graph()
     for w in workers:
@@ -239,6 +382,9 @@ class _AsyncNodeConfig:
 
     node_id: int
     k: int
+    #: Total dictionary stripe count (k * (max_retries + 1)): worker i at
+    #: epoch e mints in stripe i + e*k, so no incarnation ever reuses ids.
+    stripes: int
     base_triples: list[Triple]
     rules: list[Rule]
     router_kind: str
@@ -247,37 +393,82 @@ class _AsyncNodeConfig:
     base_terms: list[Term]
 
 
-def _async_worker_main(cfg: _AsyncNodeConfig, inbox: mp.Queue, outbox: mp.Queue) -> None:
-    """Worker process loop — no rounds.
-
-    Protocol:
-      master -> worker: ("tuples", EncodedBatch) | ("finish",)
-      worker -> master: ("produced", node_id, [EncodedBatch...], consumed)
-                        | ("output", node_id, [Triple...])
-    Every processed inbox message yields exactly one "produced" message
-    (possibly with zero batches) whose cumulative ``consumed`` count is the
-    acknowledgement the master's termination counting relies on.
-    """
+def _make_logical_worker(cfg: _AsyncNodeConfig, epoch: int) -> PartitionWorker:
     base = TermDictionary.from_terms(cfg.base_terms)
-    worker = PartitionWorker(
+    return PartitionWorker(
         node_id=cfg.node_id,
         base=Graph(cfg.base_triples),
         rules=cfg.rules,
         router=_make_router(cfg.router_kind, cfg.owner_table, cfg.k, cfg.rule_sets),
-        dictionary=PartitionDictionary(base, cfg.node_id, cfg.k),
+        dictionary=PartitionDictionary(
+            base, cfg.node_id + epoch * cfg.k, cfg.stripes
+        ),
+        epoch=epoch,
     )
-    result = worker.bootstrap()
-    consumed = 0
-    outbox.put(("produced", cfg.node_id, result.outgoing, consumed))
+
+
+def _async_worker_main(
+    cfg: _AsyncNodeConfig,
+    inbox: mp.Queue,
+    outbox: mp.Queue,
+    heartbeat_interval: float,
+) -> None:
+    """Worker process loop — no rounds, hang-proof.
+
+    Protocol (typed control messages, :mod:`repro.parallel.messages`):
+      master -> worker: Deliver(batch) | Adopt(node, epoch, cfg)
+                        | Finish() | Stop()
+      worker -> master: Produced(node, epoch, batches, consumed)
+                        | OutputMsg(node, epoch, triples)
+                        | Heartbeat(node, epoch, consumed)
+    Every Deliver yields exactly one Produced (possibly with zero batches)
+    whose cumulative ``consumed`` count is the acknowledgement the
+    master's termination counting relies on.  One process may host
+    several *logical* workers: recovery adopts a dead peer's node here,
+    re-seeded from its config and the master's relay ledger.
+
+    The inbox wait is bounded: on every idle ``heartbeat_interval`` the
+    worker checks that the master still exists (exiting instead of
+    leaking an orphan if not) and heartbeats each hosted node.
+    """
+    parent = os.getppid()
+    workers: dict[int, PartitionWorker] = {}
+    consumed: dict[int, int] = {}
+    epochs: dict[int, int] = {}
+
+    def boot(node_cfg: _AsyncNodeConfig, epoch: int) -> None:
+        w = _make_logical_worker(node_cfg, epoch)
+        workers[node_cfg.node_id] = w
+        consumed[node_cfg.node_id] = 0
+        epochs[node_cfg.node_id] = epoch
+        result = w.bootstrap()
+        outbox.put(Produced(node_cfg.node_id, epoch, tuple(result.outgoing), 0))
+
+    boot(cfg, 0)
     while True:
-        msg = inbox.get()
-        if msg[0] == "finish":
-            outbox.put(("output", cfg.node_id, list(worker.output_graph())))
+        try:
+            msg = inbox.get(timeout=heartbeat_interval)
+        except queue_mod.Empty:
+            if not parent_alive(parent):
+                return  # master died: exit instead of leaking an orphan
+            for nid in workers:
+                outbox.put(Heartbeat(nid, epochs[nid], consumed[nid]))
+            continue
+        if isinstance(msg, Stop):
             return
-        assert msg[0] == "tuples"
-        consumed += 1
-        result = worker.step([msg[1]])
-        outbox.put(("produced", cfg.node_id, result.outgoing, consumed))
+        if isinstance(msg, Finish):
+            # Output *request*, not shutdown: recovery may still need us.
+            for nid, w in workers.items():
+                outbox.put(OutputMsg(nid, epochs[nid], tuple(w.output_graph())))
+            continue
+        if isinstance(msg, Adopt):
+            boot(msg.config, msg.epoch)
+            continue
+        batch = msg.batch
+        nid = batch.dest
+        consumed[nid] += 1
+        result = workers[nid].step([batch])
+        outbox.put(Produced(nid, epochs[nid], tuple(result.outgoing), consumed[nid]))
 
 
 def run_multiprocess_async(
@@ -290,32 +481,54 @@ def run_multiprocess_async(
     start_method: str | None = None,
     idle_timeout: float = 120.0,
     seed_rule_terms: bool = True,
-) -> Graph:
-    """Round-free execution across real processes; returns the unioned KB.
+    degrade: str = "abort",
+    max_retries: int = 2,
+    supervision: SupervisionPolicy | None = None,
+    with_stats: bool = False,
+):
+    """Round-free execution across real processes; returns the unioned KB
+    (or the full :class:`AsyncRunResult` with ``with_stats=True``).
 
     Same configuration surface as
     :func:`repro.parallel.mp_backend.run_multiprocess` (the lock-step
     differential oracle).  ``start_method=None`` uses the platform default
     (fork on Linux, spawn on macOS/Windows); both work — every shipped
     object is picklable and terms re-intern on arrival.
+
+    Supervision (:class:`~repro.parallel.supervisor.SupervisionPolicy`,
+    overridable wholesale via ``supervision``): worker liveness is folded
+    into every blocking outbox wait, workers heartbeat on idle, and a
+    crashed or silent worker raises a typed
+    :class:`~repro.parallel.supervisor.WorkerFailure` naming the node.
+    With ``degrade="recover"`` the master instead adopts the lost node
+    onto a surviving process — round-robin over survivors — re-seeded
+    from the node's spawn config plus a replay of every batch the master
+    ever relayed to it (the counting ledger records exactly that), up to
+    ``max_retries`` recovery events per run.
     """
     k = len(partitions)
     if len(rules_per_node) != k:
         raise ValueError("rules_per_node must match partitions")
+    policy = supervision or SupervisionPolicy(
+        degrade=degrade, max_retries=max_retries, idle_timeout=idle_timeout
+    )
     base = build_base_dictionary(
         partitions,
         rules=_all_rules(rules_per_node, rule_sets) if seed_rule_terms else (),
     )
     base_terms = base.terms()
+    stripes = k * (policy.max_retries + 1)
     ctx = mp.get_context(start_method)
     inboxes = [ctx.Queue() for _ in range(k)]
     outbox = ctx.Queue()
 
+    cfgs: list[_AsyncNodeConfig] = []
     processes = []
     for i in range(k):
         cfg = _AsyncNodeConfig(
             node_id=i,
             k=k,
+            stripes=stripes,
             base_triples=list(partitions[i]),
             rules=list(rules_per_node[i]),
             router_kind=router_kind,
@@ -323,47 +536,114 @@ def run_multiprocess_async(
             rule_sets=[list(rs) for rs in rule_sets] if rule_sets else None,
             base_terms=base_terms,
         )
-        proc = ctx.Process(target=_async_worker_main, args=(cfg, inboxes[i], outbox))
+        cfgs.append(cfg)
+        proc = ctx.Process(
+            target=_async_worker_main,
+            args=(cfg, inboxes[i], outbox, policy.heartbeat_interval),
+        )
         proc.start()
         processes.append(proc)
 
-    try:
-        det = CountingTermination(k)
-        relayed = 0
-        while not det.quiescent():
-            try:
-                msg = outbox.get(timeout=idle_timeout)
-            except queue_mod.Empty:
-                raise RuntimeError(
-                    f"async master idle for {idle_timeout}s without "
-                    "reaching quiescence — a worker likely died"
-                ) from None
-            kind, node_id, batches, consumed = msg
-            assert kind == "produced"
-            # Relay first, then account the ack: quiescence is only
-            # checked once this message's productions are in the counters.
-            for batch in batches:
-                if relayed >= max_messages:
-                    raise RuntimeError(
-                        f"no termination after {max_messages} messages"
-                    )
-                relayed += 1
-                det.record_forward(batch.dest)
-                inboxes[batch.dest].put(("tuples", batch))
-            det.record_ack(node_id, consumed)
-            det.mark_bootstrapped(node_id)
+    det = CountingTermination(k)
+    stats = AsyncRunStats(k=k)
+    sup = ProcessSupervisor(
+        processes, policy, outstanding=det.outstanding, ledger=det.counts
+    )
+    epoch = [0] * k
+    #: Logical node -> hosting process index (changes on adoption).
+    route = list(range(k))
+    #: The counting ledger's payload side: every batch relayed to each
+    #: node, in relay order — what recovery replays.
+    relay_log: list[list] = [[] for _ in range(k)]
+    relayed = 0
 
+    def relay(batch) -> None:
+        nonlocal relayed
+        if relayed >= max_messages:
+            raise RuntimeError(f"no termination after {max_messages} messages")
+        relayed += 1
+        det.record_forward(batch.dest)
+        stats.record_batch(batch)
+        relay_log[batch.dest].append(batch)
+        inboxes[route[batch.dest]].put(Deliver(batch))
+
+    def recover(failure: WorkerFailure) -> None:
+        """Adopt every node the failed process hosted onto survivors."""
+        stats.retries += 1
+        if policy.retry_backoff:
+            time.sleep(policy.retry_backoff * stats.retries)
+        if failure.process_index is not None:
+            sup.mark_failed(failure.process_index)
+        survivors = sup.live_process_indexes()
+        if not survivors:
+            raise WorkerFailure(
+                failure.node_ids, "no-survivors", exitcode=failure.exitcode
+            )
+        for offset, node in enumerate(sorted(failure.node_ids)):
+            target = survivors[(node + stats.retries + offset) % len(survivors)]
+            epoch[node] += 1
+            route[node] = target
+            det.reset_node(node)
+            sup.reassign(node, target)
+            inboxes[target].put(Adopt(node, epoch[node], cfgs[node]))
+            for batch in relay_log[node]:
+                det.record_forward(node)
+                stats.retransmitted += 1
+                inboxes[target].put(Deliver(batch))
+
+    try:
+        outputs: dict[int, tuple] = {}
+        finish_sent = False
+        while True:
+            if det.quiescent() and not finish_sent:
+                for p in sup.live_process_indexes():
+                    inboxes[p].put(Finish())
+                finish_sent = True
+            if finish_sent and len(outputs) == k:
+                break
+            try:
+                msg = sup.get(outbox)
+            except WorkerFailure as wf:
+                stats.record_failure(wf.record())
+                if (
+                    policy.degrade != "recover"
+                    or wf.reason == "idle"
+                    or stats.retries >= policy.max_retries
+                ):
+                    raise
+                recover(wf)
+                # Any outputs gathered so far may predate the replayed
+                # derivations; re-request everything once re-quiescent.
+                outputs.clear()
+                finish_sent = False
+                continue
+            if isinstance(msg, Produced):
+                if msg.epoch < epoch[msg.node_id]:
+                    continue  # stale incarnation: dead worker's leftovers
+                # Relay first, then account the ack: quiescence is only
+                # checked once this message's productions are in the
+                # counters.
+                for batch in msg.batches:
+                    relay(batch)
+                det.record_ack(msg.node_id, msg.consumed)
+                det.mark_bootstrapped(msg.node_id)
+            elif isinstance(msg, OutputMsg):
+                if msg.epoch < epoch[msg.node_id]:
+                    continue
+                outputs[msg.node_id] = msg.triples
+
+        for p in sup.live_process_indexes():
+            inboxes[p].put(Stop())
         union = Graph()
-        for i in range(k):
-            inboxes[i].put(("finish",))
-        for _ in range(k):
-            kind, node_id, triples = outbox.get(timeout=idle_timeout)
-            assert kind == "output"
+        for triples in outputs.values():
             union.update(triples)
+        if with_stats:
+            return AsyncRunResult(
+                graph=union,
+                stats=stats,
+                forwarded=list(det.forwarded),
+                consumed=list(det.consumed),
+            )
         return union
     finally:
-        for proc in processes:
-            proc.join(timeout=30)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
+        sup.shutdown()

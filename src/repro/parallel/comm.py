@@ -13,6 +13,13 @@ would drop in without touching the driver.
   one N-Triples file in a spool directory, named so receivers can discover
   their pending messages; files are deleted on receipt.  Accounts real
   bytes written/read.
+
+:class:`ChannelPool` is the in-process async executor's transport: one
+FIFO deque per (sender, dest) channel with a pluggable cross-channel
+delivery order (fifo / lifo / seeded shuffle) and per-destination
+eligibility filtering — the hook the fault-injection harness uses to
+model dead, frozen, and delayed receivers without breaking the
+FIFO-per-channel invariant the delta-dictionary protocol requires.
 """
 
 from __future__ import annotations
@@ -100,6 +107,97 @@ class InMemoryComm:
 
     def pending(self) -> int:
         return sum(len(box) for box in self._mailboxes)
+
+
+class ChannelPool:
+    """Per-channel FIFO queues with a controllable cross-channel order.
+
+    ``order`` lists one entry (the channel key) per pending message, in
+    emit order; delivery picks an entry by policy — ``"fifo"`` the
+    globally oldest, ``"lifo"`` the newest, ``"shuffle"`` seeded-random —
+    then pops that channel's *oldest* message, so order within a channel
+    is always preserved (the wire protocol's FIFO-channel assumption).
+
+    ``pop_next(eligible)`` skips channels whose key fails the predicate:
+    the supervisor marks destinations dead/frozen/held, and those
+    channels simply stop delivering while remaining pending.
+
+    >>> pool = ChannelPool("fifo")
+    >>> pool.emit(TupleBatch.make(0, 1, 0, []))
+    >>> pool.in_transit
+    1
+    >>> pool.pop_next() is not None
+    True
+    """
+
+    def __init__(self, delivery: str = "fifo", rng=None) -> None:
+        if delivery not in ("fifo", "lifo", "shuffle"):
+            raise ValueError(f"unknown delivery order {delivery!r}")
+        if delivery == "shuffle" and rng is None:
+            raise ValueError("shuffle delivery requires an rng")
+        self.delivery = delivery
+        self._rng = rng
+        self._channels: dict[tuple[int, int], deque[Message]] = {}
+        self._order: list[tuple[int, int]] = []
+
+    @property
+    def in_transit(self) -> int:
+        return len(self._order)
+
+    def emit(self, batch: Message) -> None:
+        key = (batch.sender, batch.dest)
+        box = self._channels.get(key)
+        if box is None:
+            box = self._channels[key] = deque()
+        box.append(batch)
+        self._order.append(key)
+
+    def push_front(self, batch: Message) -> None:
+        """Return an un-consumed message to the head of its channel (a
+        frozen receiver popped it but never processed it)."""
+        key = (batch.sender, batch.dest)
+        self._channels.setdefault(key, deque()).appendleft(batch)
+        self._order.insert(0, key)
+
+    def pop_next(self, eligible=None) -> Message | None:
+        """Deliver the next message whose channel passes ``eligible``
+        (default: all), honoring the cross-channel policy.  ``None`` when
+        nothing is deliverable (pending messages may remain)."""
+        order = self._order
+        if not order:
+            return None
+        if eligible is None:
+            candidates = range(len(order))
+        else:
+            candidates = [i for i, key in enumerate(order) if eligible(key)]
+            if not candidates:
+                return None
+        if self.delivery == "shuffle":
+            idx = candidates[self._rng.randrange(len(candidates))] \
+                if eligible is not None else self._rng.randrange(len(order))
+        elif self.delivery == "lifo":
+            idx = candidates[-1] if eligible is not None else len(order) - 1
+        else:
+            idx = candidates[0] if eligible is not None else 0
+        key = order.pop(idx)
+        return self._channels[key].popleft()
+
+    def discard_dest(self, dest: int) -> int:
+        """Drop every pending message addressed to ``dest`` (recovery:
+        the relay ledger replays them into the replacement).  Returns the
+        number discarded."""
+        keep: list[tuple[int, int]] = []
+        dropped = 0
+        for key in self._order:
+            if key[1] == dest:
+                self._channels[key].popleft()
+                dropped += 1
+            else:
+                keep.append(key)
+        # Rebuild: per-channel deques already consumed in order-list order
+        # for the dropped dest, so surviving deques are untouched.
+        self._order = keep
+        return dropped
 
 
 class FileComm:

@@ -35,6 +35,7 @@ from repro.parallel.comm import CommBackend, InMemoryComm
 from repro.parallel.messages import TupleBatch
 from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
 from repro.parallel.stats import NodeRoundStats, RunStats
+from repro.parallel.supervisor import SupervisionPolicy
 from repro.parallel.worker import PartitionWorker, RoundResult, Strategy
 from repro.partitioning.base import DataPartitioningResult, RulePartitioningResult
 from repro.partitioning.data_generic import partition_data
@@ -90,6 +91,9 @@ class ParallelReasoner:
         seed: int = 0,
         compile_rules: bool = True,
         encode_wire: bool = False,
+        degrade: str = "abort",
+        max_retries: int = 2,
+        supervision: "SupervisionPolicy | None" = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -120,6 +124,17 @@ class ParallelReasoner:
         #: id-keyed dedup and routing.  Same fixpoint, ~an order of
         #: magnitude fewer bytes on the wire (see benchmarks).
         self.encode_wire = encode_wire
+        if degrade not in ("abort", "recover"):
+            raise ValueError(f'degrade must be "abort" or "recover", got {degrade!r}')
+        #: Failure handling for :meth:`materialize_async` (see
+        #: :mod:`repro.parallel.supervisor`): ``"abort"`` raises the typed
+        #: :class:`~repro.parallel.supervisor.WorkerFailure`; ``"recover"``
+        #: re-runs a lost node's partition on a survivor.
+        self.degrade = degrade
+        self.max_retries = max_retries
+        #: Full :class:`~repro.parallel.supervisor.SupervisionPolicy`
+        #: override; when set, ``degrade``/``max_retries`` are ignored.
+        self.supervision = supervision
 
     # -- the run ---------------------------------------------------------------
 
@@ -239,6 +254,109 @@ class ParallelReasoner:
             data_partitioning=data_result,
             rule_partitioning=rule_result,
         )
+
+    # -- the asynchronous run --------------------------------------------------
+
+    def _partition_async(self, instance: Graph):
+        """Partition for the round-free backends, which rebuild routers on
+        the far side of a process boundary from plain picklable inputs:
+        ``(partitions, rules_per_node, router_kind, owner_table, rule_sets)``.
+        """
+        if self.approach == "data":
+            from repro.partitioning.data_generic import default_vocabulary
+
+            vocabulary = default_vocabulary(instance)
+            vocabulary |= self.compiled.schema.resources()
+            data_result = partition_data(
+                instance, self.policy, self.k,
+                strip_schema=False, vocabulary=vocabulary,
+            )
+            return (
+                data_result.partitions,
+                [list(self.compiled.rules) for _ in range(self.k)],
+                "data",
+                dict(data_result.owner.table),
+                None,
+            )
+        from repro.partitioning.rulepart import graph_workload_estimator
+
+        pred_stats = predicate_counts(instance) if self.weight_rule_edges else None
+        rule_result = partition_rules(
+            self.compiled.rules, self.k,
+            predicate_stats=pred_stats,
+            workload_estimator=(
+                graph_workload_estimator(instance)
+                if self.weight_rule_edges
+                else None
+            ),
+            seed=self.seed,
+        )
+        return (
+            [instance] * self.k,  # every node sees the full data set
+            [list(rs) for rs in rule_result.rule_sets],
+            "rule",
+            None,
+            [list(rs) for rs in rule_result.rule_sets],
+        )
+
+    def materialize_async(
+        self,
+        graph: Graph,
+        multiprocess: bool = False,
+        start_method: str | None = None,
+        delivery: str = "fifo",
+        faults=None,
+        idle_timeout: float = 120.0,
+    ):
+        """Materialize via the supervised round-free runtime instead of
+        BSP rounds; returns an
+        :class:`~repro.parallel.async_backend.AsyncRunResult` whose graph
+        includes the schema closure (same KB as :meth:`materialize`).
+
+        ``multiprocess=True`` runs one OS process per partition
+        (:func:`~repro.parallel.async_backend.run_multiprocess_async`);
+        the default runs in-process with controllable ``delivery`` order
+        and optional deterministic ``faults``
+        (:class:`~repro.parallel.faults.FaultPlan`).  Either way, the
+        reasoner's ``degrade``/``max_retries``/``supervision`` knobs
+        decide whether a worker failure aborts the run (typed
+        :class:`~repro.parallel.supervisor.WorkerFailure`) or triggers
+        ledger-replay recovery on a survivor.
+        """
+        from repro.parallel.async_backend import (
+            run_async_inprocess,
+            run_multiprocess_async,
+        )
+
+        schema, instance = split_schema(graph)
+        partitions, rules_per_node, router_kind, owner_table, rule_sets = (
+            self._partition_async(instance)
+        )
+        if multiprocess:
+            if faults is not None:
+                raise ValueError(
+                    "FaultPlan drives the in-process executor only; inject "
+                    "multiprocess crashes via the REPRO_FAULT_KILL env var"
+                )
+            result = run_multiprocess_async(
+                partitions, rules_per_node, router_kind,
+                owner_table=owner_table, rule_sets=rule_sets,
+                start_method=start_method, idle_timeout=idle_timeout,
+                degrade=self.degrade, max_retries=self.max_retries,
+                supervision=self.supervision, with_stats=True,
+            )
+        else:
+            policy = self.supervision
+            result = run_async_inprocess(
+                partitions, rules_per_node, router_kind,
+                owner_table=owner_table, rule_sets=rule_sets,
+                delivery=delivery, seed=self.seed, faults=faults,
+                degrade=policy.degrade if policy else self.degrade,
+                max_retries=policy.max_retries if policy else self.max_retries,
+            )
+        result.graph.update(iter(schema))
+        result.graph.update(iter(self.compiled.schema))
+        return result
 
     # -- helpers -----------------------------------------------------------------
 

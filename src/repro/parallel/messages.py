@@ -1,6 +1,6 @@
 """Inter-partition message types.
 
-Two message kinds:
+Two payload kinds:
 
 * :class:`TupleBatch` — triples as term objects, sized by their N-Triples
   serialization.  The original text-based wire format; still the payload
@@ -14,6 +14,14 @@ Two message kinds:
 Both cache their payload size at first computation — cost models call
 ``payload_bytes()`` repeatedly, and re-serializing every triple per call
 made that quadratic in practice.
+
+Plus the typed *control messages* of the supervised multiprocess
+protocol (master <-> worker queues).  Worker-originated messages carry
+the logical node id and an *epoch*: recovery re-runs a lost node as a
+fresh incarnation with a bumped epoch, and the master discards anything
+stamped with an older one — a message from a dead incarnation can still
+be sitting in the outbox when its replacement boots, and must never
+corrupt the termination ledger.
 """
 
 from __future__ import annotations
@@ -179,3 +187,69 @@ class EncodedBatch:
             f"<EncodedBatch {self.sender}->{self.dest} round={self.round_no} "
             f"rows={len(self)} delta={len(self.delta)}>"
         )
+
+
+# -- control messages (supervised multiprocess protocol) ----------------------
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker -> master liveness ping, sent whenever an idle inbox poll
+    times out.  Carries the cumulative consumed count so a heartbeat also
+    refreshes the supervisor's view of the node's progress."""
+
+    node_id: int
+    epoch: int
+    consumed: int
+
+
+@dataclass(frozen=True)
+class Produced:
+    """Worker -> master: one processed inbox message's productions plus
+    the acknowledgement (cumulative consumed count) the counting
+    termination relies on.  Ack and productions travel together — the
+    master can never observe the ack without the productions in hand."""
+
+    node_id: int
+    epoch: int
+    batches: tuple
+    consumed: int
+
+
+@dataclass(frozen=True)
+class OutputMsg:
+    """Worker -> master: one logical node's final KB."""
+
+    node_id: int
+    epoch: int
+    triples: tuple
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """Master -> worker: one relayed batch (dispatched inside the process
+    by ``batch.dest``, since a process may host adopted nodes)."""
+
+    batch: object
+
+
+@dataclass(frozen=True)
+class Adopt:
+    """Master -> worker: host a lost node.  ``config`` is the dead node's
+    (picklable) spawn configuration; the master follows with the node's
+    full relay log as ordinary :class:`Deliver` messages."""
+
+    node_id: int
+    epoch: int
+    config: object
+
+
+@dataclass(frozen=True)
+class Finish:
+    """Master -> worker: report every hosted node's output (the worker
+    keeps running — recovery may still need it)."""
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Master -> worker: outputs are safely gathered; exit now."""

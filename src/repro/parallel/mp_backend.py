@@ -19,12 +19,19 @@ them at test sizes.  Keep inputs small.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_mod
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.datalog.ast import Rule
-from repro.parallel.messages import TupleBatch
+from repro.parallel.messages import Heartbeat, TupleBatch
 from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
+from repro.parallel.supervisor import (
+    ProcessSupervisor,
+    SupervisionPolicy,
+    parent_alive,
+)
 from repro.parallel.worker import PartitionWorker
 from repro.rdf.graph import Graph
 from repro.rdf.triple import Triple
@@ -51,7 +58,12 @@ def _make_router(cfg: _NodeConfig) -> Router:
     return RulePartitionRouter(cfg.rule_sets or [])
 
 
-def _worker_main(cfg: _NodeConfig, inbox: mp.Queue, outbox: mp.Queue) -> None:
+def _worker_main(
+    cfg: _NodeConfig,
+    inbox: mp.Queue,
+    outbox: mp.Queue,
+    heartbeat_interval: float = 0.5,
+) -> None:
     """Worker process loop.
 
     Protocol (all via queues, driven by the parent):
@@ -59,7 +71,13 @@ def _worker_main(cfg: _NodeConfig, inbox: mp.Queue, outbox: mp.Queue) -> None:
       worker -> parent: ("produced", node_id, [TupleBatch...])
                         | ("output", node_id, [Triple...])
     The first round is triggered by an empty batch list.
+
+    The inbox wait is bounded: every idle ``heartbeat_interval`` the
+    worker checks that the master still exists — if the master crashed
+    between rounds the worker exits instead of blocking on ``inbox.get()``
+    as an orphan forever — and pings the master's supervisor.
     """
+    parent = os.getppid()
     base = Graph(cfg.base_triples)
     worker = PartitionWorker(
         node_id=cfg.node_id,
@@ -68,8 +86,15 @@ def _worker_main(cfg: _NodeConfig, inbox: mp.Queue, outbox: mp.Queue) -> None:
         router=_make_router(cfg),
     )
     first = True
+    rounds = 0
     while True:
-        msg = inbox.get()
+        try:
+            msg = inbox.get(timeout=heartbeat_interval)
+        except queue_mod.Empty:
+            if not parent_alive(parent):
+                return  # master died: exit instead of leaking an orphan
+            outbox.put(Heartbeat(cfg.node_id, 0, rounds))
+            continue
         kind = msg[0]
         if kind == "finish":
             outbox.put(("output", cfg.node_id, list(worker.output_graph())))
@@ -78,6 +103,7 @@ def _worker_main(cfg: _NodeConfig, inbox: mp.Queue, outbox: mp.Queue) -> None:
         batches: list[TupleBatch] = msg[1]
         result = worker.bootstrap() if first else worker.step(batches)
         first = False
+        rounds += 1
         outbox.put(("produced", cfg.node_id, result.outgoing))
 
 
@@ -89,6 +115,8 @@ def run_multiprocess(
     rule_sets: Sequence[Sequence[Rule]] | None = None,
     max_rounds: int = 1000,
     start_method: str | None = None,
+    idle_timeout: float = 120.0,
+    supervision: SupervisionPolicy | None = None,
 ) -> Graph:
     """Execute Algorithm 3 across real processes; returns the unioned KB.
 
@@ -100,10 +128,20 @@ def run_multiprocess(
     ``spawn`` on macOS/Windows).  Both are supported: the worker entry
     point and every config field are picklable, and terms re-intern on
     unpickling, so nothing depends on inherited process state.
+
+    Every blocking wait is supervised
+    (:class:`~repro.parallel.supervisor.ProcessSupervisor`): a worker
+    that dies mid-round raises a typed
+    :class:`~repro.parallel.supervisor.WorkerFailure` naming the dead
+    node instead of blocking the master on ``outbox.get()`` forever.  The
+    lock-step backend is the differential *oracle*, so it only diagnoses
+    failures; recovery lives in the asynchronous backend
+    (:func:`repro.parallel.async_backend.run_multiprocess_async`).
     """
     k = len(partitions)
     if len(rules_per_node) != k:
         raise ValueError("rules_per_node must match partitions")
+    policy = supervision or SupervisionPolicy(idle_timeout=idle_timeout)
     ctx = mp.get_context(start_method)
     inboxes = [ctx.Queue() for _ in range(k)]
     outbox = ctx.Queue()
@@ -119,18 +157,21 @@ def run_multiprocess(
             owner_k=k,
             rule_sets=[list(rs) for rs in rule_sets] if rule_sets else None,
         )
-        proc = ctx.Process(target=_worker_main, args=(cfg, inboxes[i], outbox))
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(cfg, inboxes[i], outbox, policy.heartbeat_interval),
+        )
         proc.start()
         processes.append(proc)
 
+    sup = ProcessSupervisor(processes, policy)
     try:
-        pending: list[TupleBatch] = []
         for i in range(k):
             inboxes[i].put(("round", []))
         for round_no in range(max_rounds):
             produced: list[TupleBatch] = []
             for _ in range(k):
-                kind, node_id, batches = outbox.get()
+                kind, node_id, batches = sup.get(outbox)
                 assert kind == "produced"
                 produced.extend(batches)
             if not produced:
@@ -148,13 +189,9 @@ def run_multiprocess(
         for i in range(k):
             inboxes[i].put(("finish",))
         for _ in range(k):
-            kind, node_id, triples = outbox.get()
+            kind, node_id, triples = sup.get(outbox)
             assert kind == "output"
             union.update(triples)
         return union
     finally:
-        for proc in processes:
-            proc.join(timeout=30)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
+        sup.shutdown()

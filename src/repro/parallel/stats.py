@@ -34,6 +34,13 @@ class AsyncRunStats:
     shipped — plus per-node delivery counts (how unevenly the inbox load
     spread), which the cost models consume in place of Fig 2's per-round
     series.
+
+    Fault-tolerance accounting rides along: every
+    :class:`~repro.parallel.supervisor.WorkerFailure` the supervisor
+    converted into a recovery (or an abort) lands in ``failures`` as a
+    :class:`~repro.parallel.supervisor.FailureRecord`, ``retries`` counts
+    recovery attempts, and ``retransmitted`` counts ledger-replayed
+    batches (relayed again, but not new wire traffic in ``messages``).
     """
 
     k: int
@@ -43,10 +50,21 @@ class AsyncRunStats:
     delta_terms: int = 0
     #: Messages delivered to each node.
     deliveries: list[int] = field(default_factory=list)
+    #: One FailureRecord per WorkerFailure event observed.
+    failures: list = field(default_factory=list)
+    #: Recovery attempts performed (<= the policy's max_retries).
+    retries: int = 0
+    #: Batches re-delivered from the relay ledger (recovery replay and
+    #: dropped-batch retransmission).
+    retransmitted: int = 0
 
     def __post_init__(self) -> None:
         if not self.deliveries:
             self.deliveries = [0] * self.k
+
+    @property
+    def worker_failures(self) -> int:
+        return len(self.failures)
 
     def record_batch(self, batch) -> None:
         """Account one relayed batch (TupleBatch or EncodedBatch)."""
@@ -55,6 +73,10 @@ class AsyncRunStats:
         self.payload_bytes += batch.payload_bytes()
         self.delta_terms += len(getattr(batch, "delta", ()))
         self.deliveries[batch.dest] += 1
+
+    def record_failure(self, record) -> None:
+        """Account one WorkerFailure event (a FailureRecord)."""
+        self.failures.append(record)
 
 
 @dataclass

@@ -85,6 +85,24 @@ class CountingTermination:
         """Messages forwarded but not yet acknowledged as consumed."""
         return sum(f - c for f, c in zip(self.forwarded, self.consumed))
 
+    def outstanding(self, node_id: int) -> int:
+        """Messages forwarded to ``node_id`` but not yet acknowledged —
+        the supervisor's per-node stall test."""
+        return self.forwarded[node_id] - self.consumed[node_id]
+
+    def counts(self, node_id: int) -> tuple[int, int]:
+        """``(forwarded, consumed)`` for diagnostics (WorkerFailure)."""
+        return self.forwarded[node_id], self.consumed[node_id]
+
+    def reset_node(self, node_id: int) -> None:
+        """Forget a failed worker's ledger entry before recovery re-seeds
+        it: the replacement incarnation bootstraps from zero and the
+        master re-counts every replayed batch, so the exact-quiescence
+        invariant holds for the new incarnation as for the old."""
+        self.forwarded[node_id] = 0
+        self.consumed[node_id] = 0
+        self._bootstrapped[node_id] = False
+
     def quiescent(self) -> bool:
         """True iff every worker bootstrapped and every forwarded message
         is acknowledged — the exact global-termination condition."""

@@ -1,4 +1,5 @@
-"""Run-trace export: RunStats to CSV/JSON for offline analysis.
+"""Run-trace export: RunStats / AsyncRunStats to CSV/JSON for offline
+analysis.
 
 The experiment harness prints the aggregate figures; anyone studying the
 runtime (per-round load curves, traffic matrices, migration effects) wants
@@ -7,6 +8,13 @@ the raw per-node per-round records.  This module serializes
 reloads the JSON form, so traces can be archived next to the experiment
 CSVs and replayed through :class:`~repro.parallel.simulated.SimulatedCluster`
 (via ``reconstruct``) under different cost models later.
+
+The asynchronous runtime's :class:`~repro.parallel.stats.AsyncRunStats`
+has its own JSON pair (:func:`async_stats_to_json` /
+:func:`async_stats_from_json`), including the fault-tolerance ledger —
+every :class:`~repro.parallel.supervisor.FailureRecord`, the retry count,
+and the retransmitted-batch count — which the fault-injection tests
+archive as a CI artifact.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ from __future__ import annotations
 import json
 from typing import Mapping
 
-from repro.parallel.stats import NodeRoundStats, RunStats
+from repro.parallel.stats import AsyncRunStats, NodeRoundStats, RunStats
+from repro.parallel.supervisor import FailureRecord
 
 #: CSV column order (stable; new fields append).
 CSV_COLUMNS = (
@@ -87,4 +96,39 @@ def stats_from_json(document: str) -> RunStats:
                 for e in round_payload
             ]
         )
+    return stats
+
+
+def async_stats_to_json(stats: AsyncRunStats) -> str:
+    """Lossless JSON for one asynchronous run's accounting, failures
+    included (round-trips via :func:`async_stats_from_json`)."""
+    payload: Mapping = {
+        "k": stats.k,
+        "messages": stats.messages,
+        "tuples": stats.tuples,
+        "payload_bytes": stats.payload_bytes,
+        "delta_terms": stats.delta_terms,
+        "deliveries": list(stats.deliveries),
+        "retries": stats.retries,
+        "retransmitted": stats.retransmitted,
+        "failures": [record.to_dict() for record in stats.failures],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def async_stats_from_json(document: str) -> AsyncRunStats:
+    """Inverse of :func:`async_stats_to_json`."""
+    payload = json.loads(document)
+    stats = AsyncRunStats(
+        k=int(payload["k"]),
+        messages=int(payload.get("messages", 0)),
+        tuples=int(payload.get("tuples", 0)),
+        payload_bytes=int(payload.get("payload_bytes", 0)),
+        delta_terms=int(payload.get("delta_terms", 0)),
+        deliveries=[int(d) for d in payload.get("deliveries", [])],
+        retries=int(payload.get("retries", 0)),
+        retransmitted=int(payload.get("retransmitted", 0)),
+    )
+    for record_payload in payload.get("failures", []):
+        stats.failures.append(FailureRecord.from_dict(record_payload))
     return stats

@@ -31,6 +31,7 @@ from typing import Iterable, Literal, Sequence
 from repro.datalog.ast import Rule
 from repro.datalog.backward import materialize_backward
 from repro.datalog.engine import SemiNaiveEngine
+from repro.parallel.faults import maybe_crash
 from repro.parallel.messages import EncodedBatch, Message, TupleBatch
 from repro.parallel.routing import Router
 from repro.rdf.dictionary import PartitionDictionary
@@ -85,8 +86,17 @@ class PartitionWorker:
         forward_received: bool = False,
         compile_rules: bool = True,
         dictionary: PartitionDictionary | None = None,
+        epoch: int = 0,
     ) -> None:
         self.node_id = node_id
+        #: Incarnation number: 0 for the original worker, bumped each time
+        #: supervision re-runs this node after a failure.  Consumed by the
+        #: wire protocol (stale-message filtering) and the fault-injection
+        #: point (replacements are immune to the injected crash).
+        self.epoch = epoch
+        #: Step calls so far — the deterministic trigger counter for the
+        #: env-configured crash injection (see repro.parallel.faults).
+        self._steps = 0
         self.graph = base.copy()
         if schema is not None:
             # Schema triples are replicated to every node (Algorithm 1
@@ -144,6 +154,8 @@ class PartitionWorker:
     def step(self, incoming: Iterable[Message]) -> RoundResult:
         """One communication round: ingest received batches (term-level or
         id-encoded), resume the fixpoint with them as the delta."""
+        self._steps += 1
+        maybe_crash(self.node_id, self.epoch, self._steps)
         received: list[Triple] = []
         for batch in incoming:
             if isinstance(batch, EncodedBatch):
