@@ -1,0 +1,172 @@
+"""Preflight: one gate folding the rule check and the static passes.
+
+Before PR 4, three unrelated mechanisms guarded three invariants: the
+driver constructor called ``check_data_partitionable`` (once, at build
+time), the protocol obligations were enforced only by the fault-injection
+suite, and the concurrency conventions only by review.  ``run_preflight``
+folds them into a single gate the driver exposes as
+``materialize(..., preflight="strict"|"warn")``:
+
+* **rules** — the data-partitioning soundness gate, now with atom-level
+  diagnostics (:func:`repro.datalog.analysis.partitionability_diagnostics`).
+  Re-checked at run time, not just construction: a rule set swapped or
+  mutated after ``__init__`` would otherwise produce a silently wrong
+  fixpoint.
+* **protocol** — :func:`repro.analysis.protocol.verify_protocol` over the
+  installed backend sources: a spec drift fails fast instead of hanging a
+  run.
+* **lint** — :func:`repro.analysis.lint.lint_paths` over the
+  ``repro.parallel`` package plus the spawn-safety probe.
+
+``mode="strict"`` raises :class:`PreflightError` (typed: carries the full
+:class:`~repro.analysis.report.AnalysisReport`); ``"warn"`` emits a
+:class:`PreflightWarning`; ``"off"`` skips everything.  Protocol and lint
+results are cached per process — sources do not change under a running
+interpreter — so repeated ``materialize`` calls pay the AST cost once.
+"""
+
+from __future__ import annotations
+
+import warnings
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.lint import (
+    DEFAULT_CONFIG,
+    check_spawn_safety,
+    lint_paths,
+)
+from repro.analysis.protocol import ASYNC_PROTOCOL, verify_protocol
+from repro.analysis.report import (
+    AnalysisReport,
+    Finding,
+    load_allowlist,
+)
+from repro.datalog.analysis import partitionability_diagnostics
+from repro.datalog.ast import Rule
+
+PASS_NAME = "rules"
+
+MODES = ("strict", "warn", "off")
+
+#: Test hook: a mapping of module name -> source text makes the protocol
+#: verifier see *that* code instead of the installed sources (and bypasses
+#: the per-process cache).  Never set outside tests.
+_SOURCES_OVERRIDE: Mapping[str, str] | None = None
+
+
+class PreflightError(RuntimeError):
+    """Preflight found violations in strict mode.
+
+    Typed: ``report`` carries every finding (code, path, line, message),
+    so callers can react to specific classes programmatically.
+    """
+
+    def __init__(self, report: AnalysisReport) -> None:
+        self.report = report
+        self.codes = tuple(sorted({f.code for f in report.findings}))
+        super().__init__(
+            "preflight failed with "
+            f"{len(report.findings)} finding(s) [{', '.join(self.codes)}]:\n"
+            + report.format_text()
+        )
+
+
+class PreflightWarning(UserWarning):
+    """Preflight found violations in warn mode."""
+
+
+def rule_gate_findings(rules: Iterable[Rule]) -> list[Finding]:
+    """The partitionability gate as findings (code ``RULES201``)."""
+    return [
+        Finding(
+            "RULES201",
+            "rule set is not data-partition-safe: " + diag.format(),
+            path="<rules>",
+            pass_name=PASS_NAME,
+        )
+        for diag in partitionability_diagnostics(rules)
+    ]
+
+
+@lru_cache(maxsize=1)
+def _cached_protocol_findings() -> tuple[Finding, ...]:
+    return tuple(verify_protocol(ASYNC_PROTOCOL))
+
+
+def _protocol_findings() -> list[Finding]:
+    if _SOURCES_OVERRIDE is not None:
+        return verify_protocol(ASYNC_PROTOCOL, sources=_SOURCES_OVERRIDE)
+    return list(_cached_protocol_findings())
+
+
+@lru_cache(maxsize=1)
+def _cached_runtime_lint_findings() -> tuple[Finding, ...]:
+    import repro.parallel
+
+    pkg_file = repro.parallel.__file__
+    if pkg_file is None:  # pragma: no cover - namespace packages only
+        return ()
+    pkg_dir = Path(pkg_file).parent
+    root = pkg_dir.parent.parent  # .../src
+    findings = lint_paths([pkg_dir], DEFAULT_CONFIG, root=root)
+    findings.extend(check_spawn_safety())
+    return tuple(findings)
+
+
+def default_allowlist_path() -> Path | None:
+    """The repo's ``.analysis-allowlist``, if running from a checkout."""
+    import repro
+
+    if repro.__file__ is None:  # pragma: no cover - namespace packages only
+        return None
+    for parent in Path(repro.__file__).resolve().parents:
+        candidate = parent / ".analysis-allowlist"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def run_preflight(
+    rules: Sequence[Rule] | None = None,
+    mode: str = "strict",
+    approach: str = "data",
+    allowlist_path: str | Path | None = None,
+    passes: Sequence[str] = ("rules", "protocol", "lint"),
+) -> AnalysisReport:
+    """Run the preflight gate; raise/warn/skip according to ``mode``.
+
+    The rule gate runs only when ``rules`` is given *and*
+    ``approach == "data"`` — rule partitioning replicates the full data
+    set to every node, so multi-join rules are sound there and must not
+    be rejected.
+    """
+    if mode not in MODES:
+        raise ValueError(f"preflight mode must be one of {MODES}, got {mode!r}")
+    report = AnalysisReport()
+    if mode == "off":
+        return report
+    allowlist = load_allowlist(
+        allowlist_path if allowlist_path is not None else default_allowlist_path()
+    )
+    if "rules" in passes and rules is not None and approach == "data":
+        report.passes.append("rules")
+        report.extend(rule_gate_findings(rules), allowlist)
+    if "protocol" in passes:
+        report.passes.append("protocol")
+        report.extend(_protocol_findings(), allowlist)
+    if "lint" in passes:
+        report.passes.append("lint")
+        report.extend(_cached_runtime_lint_findings(), allowlist)
+    if not report.ok:
+        if mode == "strict":
+            raise PreflightError(report)
+        warnings.warn(
+            PreflightWarning(
+                f"preflight found {len(report.findings)} violation(s):\n"
+                + report.format_text()
+            ),
+            stacklevel=2,
+        )
+    return report

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-from repro.datalog.ast import Atom, Rule
+from repro.datalog.ast import Rule
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Variable
 
@@ -91,6 +92,95 @@ def join_variables(rule: Rule) -> set[Variable]:
     return rule.body[0].variables() & rule.body[1].variables()
 
 
+@dataclass(frozen=True)
+class PartitionabilityDiagnostic:
+    """Why one rule breaks the data-partitioning soundness argument.
+
+    Names the offending body atoms and the shared-variable structure, not
+    just the rule — the difference between "rule rdfp11 (multi-join)" and
+    an actionable message showing which sub-goals fail to share a
+    subject/object variable.
+    """
+
+    rule_name: str
+    join_class: JoinClass
+    reason: str
+    #: The body atoms involved in the violation, rendered as patterns.
+    atoms: tuple[str, ...]
+    #: Variable names shared between consecutive body-atom pairs (empty
+    #: sets expose exactly where the join chain breaks).
+    shared_variables: tuple[frozenset[str], ...]
+
+    def format(self) -> str:
+        shared = ", ".join(
+            "{" + ", ".join(sorted(s)) + "}" for s in self.shared_variables
+        ) or "-"
+        return (
+            f"{self.rule_name} ({self.join_class.value}): {self.reason} "
+            f"[atoms: {'; '.join(self.atoms)}; shared variables: {shared}]"
+        )
+
+
+def _pairwise_shared(rule: Rule) -> tuple[frozenset[str], ...]:
+    """Variable names shared by each consecutive body-atom pair."""
+    out = []
+    for a, b in zip(rule.body, rule.body[1:]):
+        out.append(
+            frozenset(v.name for v in a.variables() & b.variables())
+        )
+    return tuple(out)
+
+
+def partitionability_diagnostics(
+    rules: Iterable[Rule],
+) -> list[PartitionabilityDiagnostic]:
+    """The rule gate's findings, one structured diagnostic per offender
+    (empty list == the rule set is data-partitionable)."""
+    out: list[PartitionabilityDiagnostic] = []
+    for rule in rules:
+        cls = classify_rule(rule)
+        if cls in (JoinClass.ZERO_JOIN, JoinClass.STAR_JOIN):
+            continue
+        atoms = tuple(str(a) for a in rule.body)
+        if cls is JoinClass.CARTESIAN:
+            out.append(
+                PartitionabilityDiagnostic(
+                    rule.name, cls,
+                    "body atoms share no variable (cross product): no single "
+                    "owner collects all participating tuples",
+                    atoms, _pairwise_shared(rule),
+                )
+            )
+            continue
+        if cls is JoinClass.MULTI_JOIN:
+            out.append(
+                PartitionabilityDiagnostic(
+                    rule.name, cls,
+                    "3+ body atoms with no variable common to every atom's "
+                    "subject/object positions: tuples scatter across owners",
+                    atoms, _pairwise_shared(rule),
+                )
+            )
+            continue
+        shared = join_variables(rule)
+        offending = [
+            atom for atom in rule.body
+            if isinstance(atom.p, Variable) and atom.p in shared
+        ]
+        if offending:
+            out.append(
+                PartitionabilityDiagnostic(
+                    rule.name, cls,
+                    "joins on predicate position: ownership is keyed on "
+                    "subject/object resources, so the joining tuples need "
+                    "not co-locate",
+                    tuple(str(a) for a in offending),
+                    (frozenset(v.name for v in shared),),
+                )
+            )
+    return out
+
+
 def check_data_partitionable(rules: Iterable[Rule]) -> None:
     """Raise ``ValueError`` unless every rule is zero-join, single-join
     (with the shared variable confined to subject/object positions), or
@@ -105,24 +195,16 @@ def check_data_partitionable(rules: Iterable[Rule]) -> None:
     different placement rule, and the OWL-Horst compiler never emits one;
     this check makes the assumption explicit instead of silently producing
     wrong fixpoints.
+
+    The error message carries :func:`partitionability_diagnostics` detail:
+    the offending atoms and shared-variable sets, not just rule names.
     """
-    bad: list[str] = []
-    for rule in rules:
-        cls = classify_rule(rule)
-        if cls in (JoinClass.ZERO_JOIN, JoinClass.STAR_JOIN):
-            continue
-        if cls is not JoinClass.SINGLE_JOIN:
-            bad.append(f"{rule.name} ({cls.value})")
-            continue
-        shared = join_variables(rule)
-        for atom in rule.body:
-            if isinstance(atom.p, Variable) and atom.p in shared:
-                bad.append(f"{rule.name} (joins on predicate position)")
-                break
-    if bad:
+    diagnostics = partitionability_diagnostics(rules)
+    if diagnostics:
         raise ValueError(
             "data partitioning is only sound for zero-join/single-join/"
-            "star-join rule sets; offending rules: " + ", ".join(bad)
+            "star-join rule sets; offending rules: "
+            + "; ".join(d.format() for d in diagnostics)
         )
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Sequence
 
-from repro.rdf.terms import Term, URI, Variable
+from repro.rdf.terms import Term, Variable
 from repro.rdf.triple import Triple
 
 #: A substitution: variable -> ground term.

@@ -23,7 +23,6 @@ the paper assumes.
 from __future__ import annotations
 
 import re
-from typing import Iterator
 
 from repro.datalog.ast import Atom, Rule
 from repro.rdf.terms import BNode, Literal, Term, URI, Variable

@@ -20,7 +20,6 @@ from repro.experiments.common import (
     SCALES,
     Scale,
     build_dataset,
-    measure_serial,
     speedup_series,
 )
 from repro.owl.reasoner import split_schema

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 from repro.datalog.backward import BackwardStats, materialize_backward
-from repro.datalog.engine import EngineStats, FixpointResult, SemiNaiveEngine
+from repro.datalog.engine import EngineStats, FixpointResult
 from repro.owl.compiler import CompiledRuleSet, compile_ontology
 from repro.owl.vocabulary import is_schema_triple
 from repro.rdf.graph import Graph

@@ -28,7 +28,7 @@ import os
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Protocol
+from typing import Protocol
 
 from repro.parallel.messages import Message, TupleBatch
 from repro.rdf.ntriples import parse_ntriples

@@ -28,11 +28,9 @@ from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 from repro.datalog.analysis import check_data_partitionable, predicate_counts
-from repro.datalog.ast import Rule
 from repro.owl.compiler import CompiledRuleSet, compile_ontology
 from repro.owl.reasoner import split_schema
 from repro.parallel.comm import CommBackend, InMemoryComm
-from repro.parallel.messages import TupleBatch
 from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
 from repro.parallel.stats import NodeRoundStats, RunStats
 from repro.parallel.supervisor import SupervisionPolicy
@@ -138,9 +136,22 @@ class ParallelReasoner:
 
     # -- the run ---------------------------------------------------------------
 
-    def materialize(self, graph: Graph) -> ParallelRunResult:
+    def materialize(
+        self, graph: Graph, preflight: str | None = None
+    ) -> ParallelRunResult:
         """Materialize a KB (mixed schema+instance or instance-only).
-        The input graph is not mutated."""
+        The input graph is not mutated.
+
+        ``preflight="strict"`` runs the static-analysis gate
+        (:func:`repro.analysis.run_preflight`) before touching the data:
+        rule partitionability (re-checked against the *current* rule set,
+        not the one the constructor saw), protocol conformance of the
+        installed backend, and the concurrency lint — raising a typed
+        :class:`~repro.analysis.PreflightError` on any violation.
+        ``"warn"`` reports the same findings as a warning; the default
+        ``None`` (or ``"off"``) skips the gate.
+        """
+        self._preflight(preflight)
         schema, instance = split_schema(graph)
 
         stats = RunStats(k=self.k)
@@ -307,6 +318,7 @@ class ParallelReasoner:
         delivery: str = "fifo",
         faults=None,
         idle_timeout: float = 120.0,
+        preflight: str | None = None,
     ):
         """Materialize via the supervised round-free runtime instead of
         BSP rounds; returns an
@@ -328,6 +340,7 @@ class ParallelReasoner:
             run_multiprocess_async,
         )
 
+        self._preflight(preflight)
         schema, instance = split_schema(graph)
         partitions, rules_per_node, router_kind, owner_table, rule_sets = (
             self._partition_async(instance)
@@ -359,6 +372,19 @@ class ParallelReasoner:
         return result
 
     # -- helpers -----------------------------------------------------------------
+
+    def _preflight(self, mode: str | None) -> None:
+        """Run the static-analysis gate when requested (see
+        :meth:`materialize`).  Checks the *current* ``self.compiled.rules``
+        — a rule set swapped after construction is exactly the drift the
+        run-time gate exists to catch."""
+        if mode is None or mode == "off":
+            return
+        from repro.analysis import run_preflight
+
+        run_preflight(
+            rules=self.compiled.rules, mode=mode, approach=self.approach
+        )
 
     def _dispatch(self, round_results: Sequence[RoundResult]) -> None:
         for result in round_results:

@@ -54,6 +54,14 @@ class Message(Protocol):
     def payload_bytes(self) -> int: ...
 
 
+class SupportsDecode(Protocol):
+    """What :meth:`EncodedBatch.decode` needs from a dictionary."""
+
+    def apply_delta(self, delta: Sequence[tuple[int, Term]]) -> None: ...
+
+    def decode(self, term_id: int) -> Term: ...
+
+
 @dataclass(frozen=True)
 class TupleBatch:
     """A batch of tuples in flight from ``sender`` to ``dest``."""
@@ -169,7 +177,7 @@ class EncodedBatch:
             )
         )
 
-    def decode(self, dictionary) -> list[Triple]:
+    def decode(self, dictionary: "SupportsDecode") -> list[Triple]:
         """Materialize term-level triples.  Registers this batch's delta
         into ``dictionary`` (a :class:`~repro.rdf.dictionary.PartitionDictionary`
         or anything with ``apply_delta``/``decode``) first, so rows are
@@ -253,3 +261,13 @@ class Finish:
 @dataclass(frozen=True)
 class Stop:
     """Master -> worker: outputs are safely gathered; exit now."""
+
+
+#: The control-protocol registries, by direction.  These are the single
+#: source of truth the protocol verifier (:mod:`repro.analysis.protocol`)
+#: checks the declarative state-machine spec against: adding a message
+#: type here without teaching the spec — or the handlers — about it is a
+#: *spec drift* finding, not a silent gap discovered as a hang.
+MASTER_TO_WORKER: tuple[type, ...] = (Deliver, Adopt, Finish, Stop)
+WORKER_TO_MASTER: tuple[type, ...] = (Produced, OutputMsg, Heartbeat)
+CONTROL_MESSAGES: tuple[type, ...] = MASTER_TO_WORKER + WORKER_TO_MASTER

@@ -33,8 +33,8 @@ rounds), which is exactly the bound the paper argues for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from dataclasses import dataclass
+from typing import Literal
 
 from repro.parallel.costmodel import CostModel
 from repro.parallel.driver import ParallelReasoner, ParallelRunResult

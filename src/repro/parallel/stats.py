@@ -6,7 +6,6 @@ derived reasoning/IO/sync/aggregation breakdown (Fig 2's four series).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 
 @dataclass

@@ -39,7 +39,7 @@ from __future__ import annotations
 import os
 import queue as queue_mod
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.parallel.messages import Heartbeat

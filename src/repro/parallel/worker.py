@@ -25,7 +25,7 @@ time dwarfs IO).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Literal, Sequence
 
 from repro.datalog.ast import Rule

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.rdf.terms import BNode, Literal, Term, URI, Variable, is_resource
+from repro.rdf.terms import Term, Variable, is_resource
 from repro.rdf.triple import Triple
 
 _MISSING = object()

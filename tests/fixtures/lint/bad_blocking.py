@@ -1,0 +1,26 @@
+"""CX101 fixture: unbounded blocking waits (exactly 3 findings)."""
+
+import multiprocessing
+
+
+def drain(inbox: "multiprocessing.Queue") -> list:
+    out = []
+    while True:
+        out.append(inbox.get())  # CX101: no timeout
+    return out
+
+
+def wait_for(proc: multiprocessing.Process) -> None:
+    proc.join()  # CX101: no timeout
+
+
+def pull(conn_queue) -> object:
+    return conn_queue.get(True)  # CX101: explicit block=True, no timeout
+
+
+def fine(inbox, proc, table: dict) -> None:
+    inbox.get(timeout=0.5)
+    inbox.get(block=False)
+    proc.join(2.0)
+    table.get("key", 0)  # dict.get — not a blocking wait
+    ", ".join(["a", "b"])  # str.join — not a process join

@@ -1,0 +1,34 @@
+"""CX102/CX103 fixture: 2×CX102 + 2×CX103 (bare+swallow share a site)."""
+
+
+def swallow_everything(work) -> None:
+    try:
+        work()
+    except:  # CX102 (bare) + CX103 (body is pass)
+        pass
+
+
+def catch_base(work) -> None:
+    try:
+        work()
+    except BaseException:  # CX102
+        raise RuntimeError("wrapped")
+
+
+def silent_loop(items) -> None:
+    for item in items:
+        try:
+            item.run()
+        except Exception:  # CX103: swallowed
+            continue
+
+
+def fine(work) -> None:
+    try:
+        work()
+    except ValueError:
+        pass  # narrow: not flagged
+    try:
+        work()
+    except Exception as exc:  # broad but handled: not flagged
+        print(exc)

@@ -1,0 +1,17 @@
+"""CX104 fixture: module-level mutable state (exactly 3 findings)."""
+
+from collections import defaultdict
+
+CACHE = {}  # CX104
+SEEN: set = set()  # CX104 (annotated assignment)
+# Aliased factory calls count too; tuples and dunders do not.
+
+BUCKETS = defaultdict(list)  # CX104
+
+FROZEN = ("a", "b")  # immutable: not flagged
+__all__ = ["FROZEN"]  # dunder convention: not flagged
+
+
+def local_state() -> dict:
+    table = {}  # function-local: not flagged
+    return table

@@ -1,0 +1,21 @@
+"""CX105 fixture: unseeded randomness (exactly 4 findings)."""
+
+import random
+
+import numpy as np
+
+
+def pick(items: list) -> object:
+    random.shuffle(items)  # CX105: module-global generator
+    return random.choice(items)  # CX105
+
+
+def sample_matrix(n: int):
+    rng = np.random.default_rng()  # CX105: no seed
+    return np.random.rand(n, n)  # CX105: legacy global
+
+
+def fine(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.random(n), local.random()

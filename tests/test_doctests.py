@@ -8,6 +8,7 @@ import doctest
 
 import pytest
 
+import repro.analysis.report
 import repro.datalog.analysis
 import repro.datalog.ast
 import repro.datalog.backward
@@ -46,6 +47,7 @@ import repro.rdf.sparql
 import repro.rdf.turtle
 
 MODULES = [
+    repro.analysis.report,
     repro.rdf.query,
     repro.rdf.sparql,
     repro.rdf.turtle,
