@@ -1,18 +1,33 @@
 """Ablation benches for the reasoning engines.
 
 DESIGN.md §5: semi-naive vs naive evaluation, forward vs the
-(deliberately Jena-shaped, super-linear) backward materialization, and
-compiled kernels vs the generic interpreter on a mixed Horst workload.
+(deliberately Jena-shaped, super-linear) backward materialization,
+compiled kernels vs the generic interpreter on a mixed Horst workload,
+and the columnar id-space kernels vs the compiled term-level kernels on
+LUBM (DESIGN.md §11).
+
+The columnar gate also writes the consolidated ``BENCH_core.json``
+(``BENCH_CORE_JSON`` env var, else the test tmpdir): closure
+triples/sec for both engines, their (identical) join-probe counts, and
+the id-native runtime's bytes-on-wire — the three headline numbers CI
+archives as one artifact.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.datalog import NaiveEngine, SemiNaiveEngine, parse_rules
 from repro.datalog.backward import materialize_backward
+from repro.datalog.columnar import ColumnarEngine
 from repro.owl import HorstReasoner
 from repro.rdf import Graph, URI
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.idstore import IdGraph
 
 TRANS = parse_rules("@prefix ex: <ex:>\n"
                     "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
@@ -103,6 +118,122 @@ def test_ablation_compiled_beats_generic():
     assert compiled.stats.join_probes < generic.stats.join_probes
     assert compiled.stats.rules_skipped > 0
     assert compiled_best < generic_best
+
+
+def _encode_graph(graph, dictionary):
+    """Bulk-encode a term graph into a fresh :class:`IdGraph` — the same
+    ingest the id-native workers perform on their partitions."""
+    enc = dictionary.encode
+    s_list, p_list, o_list = [], [], []
+    for s, p, o in graph.spo_items():
+        s_list.append(enc(s))
+        p_list.append(enc(p))
+        o_list.append(enc(o))
+    store = IdGraph(capacity=len(s_list))
+    store.add_rows(
+        np.asarray(s_list, dtype=np.int64),
+        np.asarray(p_list, dtype=np.int64),
+        np.asarray(o_list, dtype=np.int64),
+    )
+    return store
+
+
+def _core_results_path(tmp_path: Path) -> Path:
+    override = os.environ.get("BENCH_CORE_JSON")
+    return Path(override) if override else tmp_path / "bench_core_results.json"
+
+
+def test_ablation_columnar_beats_compiled(tmp_path):
+    """Acceptance gate for the id-native columnar engine (DESIGN.md §11):
+    >= 2x faster than the compiled term-level kernels to the same LUBM
+    closure, with identical join-probe accounting.
+
+    Each engine is timed in its *native* representation — the compiled
+    engine materializes term triples into the indexed Graph, the columnar
+    engine ingests int64 rows and runs the id-space fixpoint.  That is
+    the comparison the parallel runtime actually faces: id-native workers
+    consume EncodedBatch rows and decode to terms only at output gather,
+    so term materialization is never on their closure path.  Encoding the
+    input is charged to the columnar side (its ingest step); best-of-3 on
+    both sides damps scheduler noise.  Observed gap is ~2.5x, leaving
+    margin over the 2x bar.
+    """
+    from repro.datasets import LUBM
+
+    lubm = LUBM(8, seed=0)
+    base = lubm.data.copy()
+    base.update(lubm.ontology)
+    rules = HorstReasoner(lubm.ontology).rules
+
+    compiled_best = columnar_best = float("inf")
+    for _ in range(3):
+        term_graph = base.copy()
+        t0 = time.perf_counter()
+        compiled = SemiNaiveEngine(rules).run(term_graph)
+        compiled_best = min(compiled_best, time.perf_counter() - t0)
+
+        dictionary = TermDictionary()
+        t0 = time.perf_counter()
+        store = _encode_graph(base, dictionary)
+        columnar = ColumnarEngine(rules, dictionary).run(store)
+        columnar_best = min(columnar_best, time.perf_counter() - t0)
+
+    # Same fixpoint, same accounting: the id-space kernels replicate the
+    # compiled kernels' semantics, not just their result.
+    assert len(store) == len(term_graph)
+    assert columnar.stats.join_probes == compiled.stats.join_probes
+    assert columnar.stats.firings == compiled.stats.firings
+    assert columnar.stats.derived == compiled.stats.derived
+
+    closure = len(term_graph)
+    results = {
+        "dataset": "LUBM(8)",
+        "closure_triples": closure,
+        "derived": compiled.stats.derived,
+        "join_probes": compiled.stats.join_probes,
+        "compiled": {
+            "seconds": round(compiled_best, 6),
+            "triples_per_sec": round(closure / compiled_best),
+        },
+        "columnar": {
+            "seconds": round(columnar_best, 6),
+            "triples_per_sec": round(closure / columnar_best),
+        },
+        "speedup": round(compiled_best / columnar_best, 2),
+        "wire": _wire_numbers(),
+    }
+    path = _core_results_path(tmp_path)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+
+    assert compiled_best >= 2.0 * columnar_best, results
+
+
+def _wire_numbers():
+    """Bytes-on-wire of the id-native parallel runtime: a k=4 data-
+    partitioned run with id-encoded messages and columnar workers, priced
+    by the comm layer's payload accounting (24 bytes/row + once-per-peer
+    delta dictionaries)."""
+    from repro.datasets import LUBM
+    from repro.parallel import InMemoryComm, ParallelReasoner
+    from repro.partitioning.policies import GraphPartitioningPolicy
+
+    lubm = LUBM(2, seed=0)
+    comm = InMemoryComm(4)
+    reasoner = ParallelReasoner(
+        lubm.ontology, k=4, approach="data",
+        policy=GraphPartitioningPolicy(seed=0), strategy="forward",
+        comm=comm, encode_wire=True, engine="columnar",
+    )
+    result = reasoner.materialize(lubm.data)
+    tuples = result.stats.total_tuples_communicated()
+    payload = comm.stats.payload_bytes
+    return {
+        "dataset": "LUBM(2)",
+        "k": 4,
+        "tuples_communicated": tuples,
+        "bytes_on_wire": payload,
+        "bytes_per_tuple": round(payload / tuples, 2) if tuples else 0.0,
+    }
 
 
 def test_bench_forward_materialization(benchmark, lubm_tiny):

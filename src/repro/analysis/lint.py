@@ -112,7 +112,14 @@ class LintConfig:
     blessed: frozenset[str] = frozenset(
         {"ProcessSupervisor.get", "shutdown_processes"}
     )
-    spawn_scope: tuple[str, ...] = ("repro/parallel/",)
+    #: The id-native worker path imports the columnar store and kernels
+    #: inside worker processes, so they carry the same CX104 obligations
+    #: as the parallel runtime proper.
+    spawn_scope: tuple[str, ...] = (
+        "repro/parallel/",
+        "repro/rdf/idstore",
+        "repro/datalog/columnar",
+    )
     #: Scope for CX105: unseeded randomness matters where determinism is a
     #: correctness property (engines, partitioning, the parallel runtime).
     seeded_scope: tuple[str, ...] = (
@@ -120,6 +127,7 @@ class LintConfig:
         "repro/partitioning/",
         "repro/parallel/",
         "repro/graphpart/",
+        "repro/rdf/idstore",
     )
 
     def in_scope(self, path: str, scope: tuple[str, ...]) -> bool:

@@ -28,6 +28,7 @@ from repro.datalog.parser import RuleParseError, parse_rules, parse_rule
 from repro.datalog.engine import SemiNaiveEngine, EngineStats, FixpointResult
 from repro.datalog.plan import DispatchIndex, PlanKind, RulePlan, build_plan
 from repro.datalog.compiled import JoinKernel, ScanKernel, compile_rule
+from repro.datalog.columnar import ColumnarEngine
 from repro.datalog.naive import NaiveEngine
 from repro.datalog.backward import BackwardEngine, materialize_backward
 from repro.datalog.analysis import (
@@ -57,6 +58,7 @@ __all__ = [
     "build_plan",
     "JoinKernel",
     "ScanKernel",
+    "ColumnarEngine",
     "compile_rule",
     "JoinClass",
     "classify_rule",

@@ -38,7 +38,9 @@ additionally reports per-round dispatch counts (``rules_dispatched`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Literal, Sequence
+
+import numpy as np
 
 from repro.datalog.ast import Atom, Bindings, Rule
 from repro.datalog.compiled import compile_plan
@@ -174,13 +176,31 @@ class GenericKernel:
         return eval_rule_generic(graph, self.rule, delta, stats)
 
 
+#: The engine execution layers ``SemiNaiveEngine`` can select per instance.
+EngineKind = Literal["generic", "compiled", "columnar"]
+
+
 class SemiNaiveEngine:
     """Semi-naive fixpoint evaluator over a fixed rule set.
 
-    ``compile_rules=True`` (default) routes 1-atom and 2-atom single-join
-    rules through the compiled kernels and enables predicate dispatch;
-    ``False`` runs the generic interpreter for every rule (the ablation
-    baseline — results are identical, only speed and probe counts differ).
+    Three execution layers, selected by ``engine``:
+
+    * ``"compiled"`` (default) routes 1-atom and 2-atom single-join rules
+      through the compiled kernels and enables predicate dispatch;
+    * ``"generic"`` runs the generic interpreter for every rule (the
+      ablation baseline — results are identical, only speed and probe
+      counts differ);
+    * ``"columnar"`` mirrors the graph into an id-encoded
+      :class:`~repro.rdf.idstore.IdGraph` and runs the vectorized id-space
+      kernels of :mod:`repro.datalog.columnar` (identical results *and*
+      identical work counters to ``"compiled"``).  The mirror is cached
+      across :meth:`run` calls on the same graph object (detected via the
+      graph's mutation counter), so incremental deltas — the
+      :class:`~repro.owl.kb.MaterializedKB` load path — pay only for their
+      own rows.
+
+    ``compile_rules=False`` remains as the legacy spelling of
+    ``engine="generic"``.
 
     >>> from repro.datalog.parser import parse_rules
     >>> from repro.rdf import Graph, URI, Triple
@@ -198,28 +218,52 @@ class SemiNaiveEngine:
         rules: Sequence[Rule],
         max_iterations: int | None = None,
         compile_rules: bool = True,
+        engine: EngineKind | None = None,
     ) -> None:
         self.rules = tuple(rules)
         #: Safety valve for runaway rule sets; ``None`` means run to fixpoint.
         self.max_iterations = max_iterations
-        self.compile_rules = compile_rules
+        if engine is None:
+            engine = "compiled" if compile_rules else "generic"
+        if engine not in ("generic", "compiled", "columnar"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine_kind: EngineKind = engine
+        self.compile_rules = engine != "generic"
         for rule in self.rules:
             if not isinstance(rule, Rule):
                 raise TypeError(f"expected Rule, got {rule!r}")
-        if compile_rules:
+        self._columnar = None
+        self._kernels: list = []
+        self._dispatch: DispatchIndex | None = None
+        #: Columnar mirror cache: (graph object, graph version at sync).
+        self._mirror_state: tuple[Graph, int] | None = None
+        self._mirror = None
+        if engine == "columnar":
+            # Imported lazily: columnar depends on this module's stats
+            # types, so a top-level import would be circular.
+            from repro.datalog.columnar import ColumnarEngine
+            from repro.rdf.dictionary import TermDictionary
+
+            self._columnar = ColumnarEngine(
+                self.rules, TermDictionary(), max_iterations=max_iterations
+            )
+        elif engine == "compiled":
             plans = [build_plan(r) for r in self.rules]
             self._kernels = [
                 compile_plan(p) or GenericKernel(p.rule) for p in plans
             ]
-            self._dispatch: DispatchIndex | None = DispatchIndex(plans)
+            self._dispatch = DispatchIndex(plans)
         else:
             self._kernels = [GenericKernel(r) for r in self.rules]
-            self._dispatch = None
 
     @property
     def kernel_kinds(self) -> tuple[str, ...]:
         """Executor chosen per rule ('scan' / 'join' / 'generic'), in rule
-        order — diagnostic surface for tests and the experiment harness."""
+        order — diagnostic surface for tests and the experiment harness.
+        For the columnar engine these are the id-kernel kinds (same plan
+        classification)."""
+        if self._columnar is not None:
+            return self._columnar.kernel_kinds
         return tuple(k.kind.value for k in self._kernels)
 
     # -- public API ---------------------------------------------------------
@@ -237,6 +281,9 @@ class SemiNaiveEngine:
         are recomputed.  Triples in ``delta`` not yet present in ``graph``
         are inserted first.
         """
+        if self._columnar is not None:
+            return self._run_columnar(graph, delta)
+
         stats = EngineStats()
         inferred = Graph()
 
@@ -284,3 +331,81 @@ class SemiNaiveEngine:
             current_delta = next_delta
 
         return FixpointResult(graph=graph, inferred=inferred, stats=stats)
+
+    # -- columnar execution --------------------------------------------------
+
+    def _sync_mirror(self, graph: Graph):
+        """The id-encoded shadow of ``graph``, rebuilt only when the graph
+        object or its mutation counter changed since the last sync."""
+        from repro.rdf.idstore import IdGraph
+
+        state = self._mirror_state
+        if (
+            self._mirror is not None
+            and state is not None
+            and state[0] is graph
+            and state[1] == graph.version
+        ):
+            return self._mirror
+        assert self._columnar is not None
+        dictionary = self._columnar.dictionary
+        s_list: list[int] = []
+        p_list: list[int] = []
+        o_list: list[int] = []
+        enc = dictionary.encode
+        for s, p, o in graph.spo_items():
+            s_list.append(enc(s))
+            p_list.append(enc(p))
+            o_list.append(enc(o))
+        mirror = IdGraph(capacity=len(s_list))
+        mirror.add_rows(
+            np.asarray(s_list, dtype=np.int64),
+            np.asarray(p_list, dtype=np.int64),
+            np.asarray(o_list, dtype=np.int64),
+        )
+        self._mirror = mirror
+        self._mirror_state = (graph, graph.version)
+        return mirror
+
+    def _run_columnar(
+        self, graph: Graph, delta: Iterable[Triple] | None
+    ) -> FixpointResult:
+        """The ``engine="columnar"`` run path: sync the id mirror, run the
+        id-space fixpoint, decode only the newly derived rows back into
+        the term graph."""
+        assert self._columnar is not None
+        columnar = self._columnar
+        dictionary = columnar.dictionary
+        mirror = self._sync_mirror(graph)
+
+        delta_rows = None
+        if delta is not None:
+            enc = dictionary.encode
+            s_list: list[int] = []
+            p_list: list[int] = []
+            o_list: list[int] = []
+            for t in delta:
+                graph.add(t)
+                s_list.append(enc(t.s))
+                p_list.append(enc(t.p))
+                o_list.append(enc(t.o))
+            delta_rows = (
+                np.asarray(s_list, dtype=np.int64),
+                np.asarray(p_list, dtype=np.int64),
+                np.asarray(o_list, dtype=np.int64),
+            )
+
+        result = columnar.run(mirror, delta_rows)
+        inferred = Graph()
+        hs, hp, ho = result.inferred
+        for s, p, o in zip(
+            dictionary.decode_many(hs),
+            dictionary.decode_many(hp),
+            dictionary.decode_many(ho),
+        ):
+            t = Triple(s, p, o)
+            graph.add(t)
+            inferred.add(t)
+        # The adds above are our own: re-stamp the mirror as in sync.
+        self._mirror_state = (graph, graph.version)
+        return FixpointResult(graph=graph, inferred=inferred, stats=result.stats)

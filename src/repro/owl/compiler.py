@@ -53,10 +53,16 @@ class CompiledRuleSet:
     def __len__(self) -> int:
         return len(self.rules)
 
-    def engine(self, compile_rules: bool = True) -> SemiNaiveEngine:
+    def engine(
+        self, compile_rules: bool = True, engine: str | None = None
+    ) -> SemiNaiveEngine:
         """A fresh fixpoint engine over the compiled rules.
-        ``compile_rules=False`` selects the generic-interpreter ablation."""
-        return SemiNaiveEngine(self.rules, compile_rules=compile_rules)
+        ``compile_rules=False`` selects the generic-interpreter ablation;
+        ``engine`` picks the execution layer directly ("generic" /
+        "compiled" / "columnar")."""
+        return SemiNaiveEngine(
+            self.rules, compile_rules=compile_rules, engine=engine
+        )
 
     def check_single_join(self) -> None:
         """Assert every compiled rule is safe for data partitioning."""

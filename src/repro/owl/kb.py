@@ -60,12 +60,17 @@ class MaterializedKB:
         ontology: Graph,
         include_sameas_propagation: bool | str = "auto",
         compile_rules: bool = True,
+        engine: str | None = None,
     ) -> None:
         self.compiled: CompiledRuleSet = compile_ontology(
             ontology, include_sameas_propagation=include_sameas_propagation
         )
+        # ``engine="columnar"`` keeps an id-encoded mirror of the closed
+        # graph across incremental add() calls (the engine caches it per
+        # graph object), so repeated small loads stay cheap.
         self._engine = SemiNaiveEngine(self.compiled.rules,
-                                       compile_rules=compile_rules)
+                                       compile_rules=compile_rules,
+                                       engine=engine)
         self._base = Graph()
         self._closed = Graph()
         self._stats = EngineStats()

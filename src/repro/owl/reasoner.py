@@ -86,6 +86,7 @@ class HorstReasoner:
         include_sameas_propagation: bool | str = "auto",
         split_sameas: bool = True,
         compile_rules: bool = True,
+        engine: str | None = None,
     ) -> None:
         self.compiled: CompiledRuleSet = compile_ontology(
             ontology,
@@ -95,6 +96,10 @@ class HorstReasoner:
         #: Forward strategy executes via compiled kernels by default;
         #: ``False`` pins the generic interpreter (ablation baseline).
         self.compile_rules = compile_rules
+        #: Execution layer for the forward strategy: "generic" /
+        #: "compiled" / "columnar"; ``None`` derives it from
+        #: ``compile_rules`` (the legacy spelling).
+        self.engine = engine
 
     @classmethod
     def from_dataset(cls, graph: Graph, **kwargs) -> tuple["HorstReasoner", Graph]:
@@ -122,7 +127,7 @@ class HorstReasoner:
         if strategy == "forward":
             working = data.copy()
             fp: FixpointResult = self.compiled.engine(
-                compile_rules=self.compile_rules
+                compile_rules=self.compile_rules, engine=self.engine
             ).run(working)
             out = working
             inferred = len(fp.inferred)

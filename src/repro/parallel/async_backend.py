@@ -160,6 +160,7 @@ def run_async_inprocess(
     faults: FaultPlan | None = None,
     degrade: str = "abort",
     max_retries: int = 2,
+    engine: str | None = None,
 ) -> AsyncRunResult:
     """Round-free run with in-process workers and controllable delivery.
 
@@ -213,6 +214,7 @@ def run_async_inprocess(
             rules=rules_per_node[i],
             router=router,
             dictionary=PartitionDictionary(base, i, stripes),
+            engine=engine,
         )
         for i in range(k)
     ]
@@ -285,6 +287,7 @@ def run_async_inprocess(
                 base, node + epoch[node] * k, stripes
             ),
             epoch=epoch[node],
+            engine=engine,
         )
         workers[node] = replacement
         boot = replacement.bootstrap()
@@ -391,6 +394,9 @@ class _AsyncNodeConfig:
     owner_table: dict | None
     rule_sets: list[list[Rule]] | None
     base_terms: list[Term]
+    #: Execution-layer choice forwarded to every hosted worker
+    #: ("columnar" makes adopted incarnations id-native too).
+    engine: str | None = None
 
 
 def _make_logical_worker(cfg: _AsyncNodeConfig, epoch: int) -> PartitionWorker:
@@ -404,6 +410,7 @@ def _make_logical_worker(cfg: _AsyncNodeConfig, epoch: int) -> PartitionWorker:
             base, cfg.node_id + epoch * cfg.k, cfg.stripes
         ),
         epoch=epoch,
+        engine=cfg.engine,
     )
 
 
@@ -485,6 +492,7 @@ def run_multiprocess_async(
     max_retries: int = 2,
     supervision: SupervisionPolicy | None = None,
     with_stats: bool = False,
+    engine: str | None = None,
 ):
     """Round-free execution across real processes; returns the unioned KB
     (or the full :class:`AsyncRunResult` with ``with_stats=True``).
@@ -535,6 +543,7 @@ def run_multiprocess_async(
             owner_table=dict(owner_table) if owner_table else None,
             rule_sets=[list(rs) for rs in rule_sets] if rule_sets else None,
             base_terms=base_terms,
+            engine=engine,
         )
         cfgs.append(cfg)
         proc = ctx.Process(

@@ -88,6 +88,7 @@ class ParallelReasoner:
         max_rounds: int = 10_000,
         seed: int = 0,
         compile_rules: bool = True,
+        engine: str | None = None,
         encode_wire: bool = False,
         degrade: str = "abort",
         max_retries: int = 2,
@@ -116,6 +117,12 @@ class ParallelReasoner:
         #: Kernel selection for every partition's engine (see
         #: :class:`~repro.datalog.engine.SemiNaiveEngine`).
         self.compile_rules = compile_rules
+        #: Execution layer for every partition: "generic" / "compiled" /
+        #: "columnar" (``None`` derives from ``compile_rules``).  With
+        #: ``encode_wire=True``, ``"columnar"`` switches the workers to the
+        #: fully id-native path — received rows enter the columnar store
+        #: and are reasoned over and routed without materializing terms.
+        self.engine = engine
         #: Speak the id-encoded wire protocol: workers exchange
         #: :class:`~repro.parallel.messages.EncodedBatch` (int64 rows +
         #: delta dictionaries) instead of term-level batches, with
@@ -196,6 +203,7 @@ class ParallelReasoner:
                     strategy=self.strategy,
                     compile_rules=self.compile_rules,
                     dictionary=dictionaries[i],
+                    engine=self.engine,
                 )
                 for i in range(self.k)
             ]
@@ -223,6 +231,7 @@ class ParallelReasoner:
                     strategy=self.strategy,
                     compile_rules=self.compile_rules,
                     dictionary=dictionaries[i],
+                    engine=self.engine,
                 )
                 for i in range(self.k)
             ]
@@ -357,6 +366,7 @@ class ParallelReasoner:
                 start_method=start_method, idle_timeout=idle_timeout,
                 degrade=self.degrade, max_retries=self.max_retries,
                 supervision=self.supervision, with_stats=True,
+                engine=self.engine,
             )
         else:
             policy = self.supervision
@@ -366,6 +376,7 @@ class ParallelReasoner:
                 delivery=delivery, seed=self.seed, faults=faults,
                 degrade=policy.degrade if policy else self.degrade,
                 max_retries=policy.max_retries if policy else self.max_retries,
+                engine=self.engine,
             )
         result.graph.update(iter(schema))
         result.graph.update(iter(self.compiled.schema))

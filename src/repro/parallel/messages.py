@@ -61,6 +61,8 @@ class SupportsDecode(Protocol):
 
     def decode(self, term_id: int) -> Term: ...
 
+    def decode_many(self, ids: np.ndarray) -> list[Term]: ...
+
 
 @dataclass(frozen=True)
 class TupleBatch:
@@ -184,11 +186,10 @@ class EncodedBatch:
         always decodable."""
         if self.delta:
             dictionary.apply_delta(self.delta)
-        dec = dictionary.decode
-        return [
-            Triple(dec(int(s)), dec(int(p)), dec(int(o)))
-            for s, p, o in zip(self.s_ids, self.p_ids, self.o_ids)
-        ]
+        subjects = dictionary.decode_many(self.s_ids)
+        predicates = dictionary.decode_many(self.p_ids)
+        objects = dictionary.decode_many(self.o_ids)
+        return [Triple(s, p, o) for s, p, o in zip(subjects, predicates, objects)]
 
     def __repr__(self) -> str:
         return (

@@ -103,6 +103,29 @@ class DataPartitionRouter:
             else:
                 o_pid = -1
             object_route[o_id] = o_pid
+        return self._merge(node_id, s_pid, o_pid)
+
+    def destinations_by_id_cached(
+        self, node_id: int, s_id: int, o_id: int
+    ) -> list[int] | None:
+        """Warm-cache-only :meth:`destinations_by_id`: no term objects at
+        all.  Returns ``None`` on any cache miss — the caller decodes the
+        ids and takes the term-level path, which populates the cache for
+        next time.  The id-native worker's hot loop lives here."""
+        subject_owner = self._subject_owner
+        object_route = self._object_route
+        if subject_owner is None or object_route is None:
+            raise RuntimeError("bind_dictionary must be called before id routing")
+        s_pid = subject_owner.get(s_id)
+        if s_pid is None:
+            return None
+        o_pid = object_route.get(o_id)
+        if o_pid is None:
+            return None
+        return self._merge(node_id, s_pid, o_pid)
+
+    @staticmethod
+    def _merge(node_id: int, s_pid: int, o_pid: int) -> list[int]:
         if s_pid == node_id:
             return [o_pid] if o_pid not in (-1, node_id) else []
         if o_pid in (-1, node_id, s_pid):

@@ -28,19 +28,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Literal, Sequence
 
+import numpy as np
+
 from repro.datalog.ast import Rule
 from repro.datalog.backward import materialize_backward
+from repro.datalog.columnar import ColumnarEngine, Columns
 from repro.datalog.engine import SemiNaiveEngine
 from repro.parallel.faults import maybe_crash
 from repro.parallel.messages import EncodedBatch, Message, TupleBatch
 from repro.parallel.routing import Router
 from repro.rdf.dictionary import PartitionDictionary
 from repro.rdf.graph import Graph
+from repro.rdf.idstore import IdGraph
 from repro.rdf.terms import Term
 from repro.rdf.triple import Triple
 from repro.util.timing import Stopwatch
 
 Strategy = Literal["forward", "backward"]
+
+
+def _concat_columns(parts: Sequence[Columns]) -> Columns:
+    if len(parts) == 1:
+        return parts[0]
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
 
 
 @dataclass
@@ -87,6 +101,7 @@ class PartitionWorker:
         compile_rules: bool = True,
         dictionary: PartitionDictionary | None = None,
         epoch: int = 0,
+        engine: str | None = None,
     ) -> None:
         self.node_id = node_id
         #: Incarnation number: 0 for the original worker, bumped each time
@@ -104,9 +119,42 @@ class PartitionWorker:
             # they are rarely needed, but user rule sets may reference them).
             self.graph.update(iter(schema))
         self.rules = tuple(rules)
-        #: Every partition runs the compiled kernels by default — the
-        #: per-partition fixpoint is the hottest path in Algorithms 1-3.
-        self.engine = SemiNaiveEngine(self.rules, compile_rules=compile_rules)
+        #: Id-native columnar mode: the partition's KB lives as int64
+        #: columns in an :class:`IdGraph` keyed by the partition
+        #: dictionary.  Received ``EncodedBatch`` rows are canonicalized,
+        #: deduplicated, reasoned over and routed without materializing a
+        #: single ``Term``/``Triple`` object — decode happens once, at
+        #: output gather.  Requires the id wire protocol (a dictionary)
+        #: and the forward strategy.
+        self.id_native = (
+            engine == "columnar"
+            and dictionary is not None
+            and strategy == "forward"
+        )
+        if self.id_native:
+            assert dictionary is not None
+            self.engine = None
+            self._columnar: ColumnarEngine | None = ColumnarEngine(
+                self.rules, dictionary)
+            self._idgraph: IdGraph | None = IdGraph(capacity=len(self.graph))
+            enc = dictionary.encode
+            s_list, p_list, o_list = [], [], []
+            for t in self.graph:
+                s_list.append(enc(t.s))
+                p_list.append(enc(t.p))
+                o_list.append(enc(t.o))
+            self._idgraph.add_rows(
+                np.asarray(s_list, dtype=np.int64),
+                np.asarray(p_list, dtype=np.int64),
+                np.asarray(o_list, dtype=np.int64),
+            )
+        else:
+            #: Every partition runs the compiled kernels by default — the
+            #: per-partition fixpoint is the hottest path in Algorithms 1-3.
+            self.engine = SemiNaiveEngine(
+                self.rules, compile_rules=compile_rules, engine=engine)
+            self._columnar = None
+            self._idgraph = None
         self.router = router
         self.strategy: Strategy = strategy
         #: Re-route tuples received from peers (dedup-guarded).  Off for
@@ -138,12 +186,20 @@ class PartitionWorker:
     def bootstrap(self) -> RoundResult:
         """Round 0: local fixpoint over the base tuples."""
         watch = Stopwatch()
+        if self.id_native:
+            assert self._columnar is not None and self._idgraph is not None
+            fixpoint = self._columnar.run(self._idgraph)
+            reasoning_time = watch.elapsed()
+            return self._finish_round_rows(
+                fixpoint.inferred, received=0,
+                reasoning_time=reasoning_time, work=fixpoint.stats.work)
         if self.strategy == "backward":
             materialized, stats = materialize_backward(self.graph, self.rules)
             fresh = [t for t in materialized if t not in self.graph]
             self.graph = materialized
             work = stats.work
         else:
+            assert self.engine is not None
             result = self.engine.run(self.graph)
             fresh = list(result.inferred)
             work = result.stats.work
@@ -156,6 +212,8 @@ class PartitionWorker:
         id-encoded), resume the fixpoint with them as the delta."""
         self._steps += 1
         maybe_crash(self.node_id, self.epoch, self._steps)
+        if self.id_native:
+            return self._step_rows(incoming)
         received: list[Triple] = []
         for batch in incoming:
             if isinstance(batch, EncodedBatch):
@@ -268,8 +326,141 @@ class PartitionWorker:
             for dest, rows in sorted(rows_by_dest.items())
         ]
 
+    # -- id-native rounds -------------------------------------------------------
+
+    def _step_rows(self, incoming: Iterable[Message]) -> RoundResult:
+        """Id-native :meth:`step`: batches land as id columns, are
+        canonicalized (two peers may have minted different ids for the same
+        runtime term), membership-filtered against the columnar store, and
+        fed to the columnar fixpoint — no term objects anywhere.
+
+        The ``received`` count keeps the term path's semantics exactly:
+        each incoming row is tested against the *pre-step* store, so a row
+        arriving in two batches in the same round is counted twice, as the
+        term path's per-triple graph test does.
+        """
+        d = self.dictionary
+        idg = self._idgraph
+        columnar = self._columnar
+        assert d is not None and idg is not None and columnar is not None
+        parts: list[Columns] = []
+        received = 0
+        for batch in incoming:
+            if isinstance(batch, EncodedBatch):
+                if batch.delta:
+                    d.apply_delta(batch.delta)
+                s = d.canonical_ids(batch.s_ids)
+                p = d.canonical_ids(batch.p_ids)
+                o = d.canonical_ids(batch.o_ids)
+            else:
+                triples = batch.triples
+                s = d.encode_many(t.s for t in triples)
+                p = d.encode_many(t.p for t in triples)
+                o = d.encode_many(t.o for t in triples)
+            if len(s) == 0:
+                continue
+            keep = ~idg.contains_rows(s, p, o)
+            fresh_count = int(keep.sum())
+            if fresh_count:
+                parts.append((s[keep], p[keep], o[keep]))
+                received += fresh_count
+        watch = Stopwatch()
+        if parts:
+            delta = _concat_columns(parts)
+            fixpoint = columnar.run(idg, delta)
+            fresh = fixpoint.inferred
+            work = fixpoint.stats.work
+        else:
+            delta = None
+            empty = np.empty(0, dtype=np.int64)
+            fresh = (empty, empty, empty)
+            work = 0
+        reasoning_time = watch.elapsed()
+        routable = fresh
+        if self.forward_received and delta is not None:
+            routable = _concat_columns([fresh, delta])
+        return self._finish_round_rows(fresh, received=received,
+                                       reasoning_time=reasoning_time,
+                                       work=work, routable=routable)
+
+    def _finish_round_rows(
+        self, fresh: Columns, received: int,
+        reasoning_time: float, work: int,
+        routable: Columns | None = None,
+    ) -> RoundResult:
+        rows = routable if routable is not None else fresh
+        result = RoundResult(
+            node_id=self.node_id,
+            round_no=self.round_no,
+            outgoing=self._route_rows(rows),
+            derived=len(fresh[0]),
+            received=received,
+            reasoning_time=reasoning_time,
+            work=work,
+        )
+        self.round_no += 1
+        return result
+
+    def _route_rows(self, rows: Columns) -> list[Message]:
+        """Id-native routing: the hot path is two int dict probes per row
+        (:meth:`DataPartitionRouter.destinations_by_id_cached`); a row's
+        terms are decoded only on a cold cache (a term first seen this
+        round) or for a router with no id tables at all."""
+        d = self.dictionary
+        assert d is not None
+        base_size = d.base_size
+        router = self.router
+        warm = getattr(router, "_subject_owner", None) is not None
+        cached = getattr(router, "destinations_by_id_cached", None) if warm else None
+        by_id = getattr(router, "destinations_by_id", None) if warm else None
+        rows_by_dest: dict[int, list[tuple[int, int, int]]] = {}
+        delta_by_dest: dict[int, list[tuple[int, Term]]] = {}
+        sent = self._sent
+        for s, p, o in zip(rows[0].tolist(), rows[1].tolist(), rows[2].tolist()):
+            row = (s, p, o)
+            if row in sent:
+                continue
+            dests = cached(self.node_id, s, o) if cached is not None else None
+            if dests is None:
+                t = Triple(d.decode(s), d.decode(p), d.decode(o))
+                if by_id is not None:
+                    dests = by_id(self.node_id, s, o, t)
+                else:
+                    dests = router.destinations(self.node_id, t)
+            if not dests:
+                continue
+            sent.add(row)
+            for dest in dests:
+                rows_by_dest.setdefault(dest, []).append(row)
+                if s >= base_size or p >= base_size or o >= base_size:
+                    known = self._known_by_dest.setdefault(dest, set())
+                    for tid in row:
+                        if tid >= base_size and tid not in known:
+                            known.add(tid)
+                            delta_by_dest.setdefault(dest, []).append(
+                                (tid, d.decode(tid)))
+        return [
+            EncodedBatch.make(
+                self.node_id, dest, self.round_no, dest_rows,
+                delta_by_dest.get(dest, ()),
+            )
+            for dest, dest_rows in sorted(rows_by_dest.items())
+        ]
+
     # -- results ---------------------------------------------------------------
 
     def output_graph(self) -> Graph:
-        """This node's final KB (base + received + inferred)."""
+        """This node's final KB (base + received + inferred).  The
+        id-native worker decodes its columnar store here — the single
+        id -> term materialization point of a run."""
+        if self.id_native:
+            assert self.dictionary is not None and self._idgraph is not None
+            s, p, o = self._idgraph.columns()
+            d = self.dictionary
+            out = Graph()
+            for st, pt, ot in zip(
+                d.decode_many(s), d.decode_many(p), d.decode_many(o)
+            ):
+                out.add(Triple(st, pt, ot))
+            return out
         return self.graph

@@ -13,6 +13,7 @@ from repro.rdf.triple import Triple
 from repro.rdf.namespace import Namespace, RDF, RDFS, OWL, XSD
 from repro.rdf.graph import Graph
 from repro.rdf.dictionary import EncodedGraph, PartitionDictionary, TermDictionary
+from repro.rdf.idstore import IdGraph
 from repro.rdf.query import BGPQuery, BGPStats
 from repro.rdf.turtle import (
     TurtleParseError,
@@ -53,6 +54,7 @@ __all__ = [
     "TermDictionary",
     "PartitionDictionary",
     "EncodedGraph",
+    "IdGraph",
     "NTriplesParseError",
     "TurtleParseError",
     "parse_turtle",

@@ -10,6 +10,12 @@ consume.
 Ids are dense, assigned in first-seen order, which keeps the partitioner's
 CSR construction a single bincount/cumsum pass.
 
+Alongside the bijection, both dictionaries maintain a per-id *kind* byte
+(URI / BNode / Literal) so id-space consumers — the columnar fixpoint
+kernels, the partition policies — can test resource-ness and predicate
+validity of whole id columns (:meth:`TermDictionary.resource_mask`,
+:meth:`TermDictionary.uri_mask`) without touching a term object.
+
 :class:`PartitionDictionary` is the partition-aware view used by the
 parallel runtime: every worker starts from the same shared base dictionary
 (built by the master over the input KB) and mints ids for terms it first
@@ -20,7 +26,9 @@ Newly minted ``(id, term)`` pairs travel once per peer as a
 (:class:`repro.parallel.messages.EncodedBatch`); thereafter the term is
 pure int traffic.  Two workers may concurrently mint *different* ids for
 the *same* new term — that is fine: both ids decode to the one interned
-term object, so graphs reconcile set-equal on decode.
+term object, so graphs reconcile set-equal on decode.  Id-native workers
+additionally *canonicalize* received rows (:meth:`PartitionDictionary
+.canonical_ids`) so aliased ids never reach an id-space join.
 """
 
 from __future__ import annotations
@@ -29,8 +37,12 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.rdf.terms import Term, is_resource
+from repro.rdf.terms import Term
 from repro.rdf.triple import Triple
+
+#: Kind byte per term, matching the sort ranks in :mod:`repro.rdf.terms`:
+#: 0 = URI, 1 = BNode, 2 = Literal.  Resources are kinds <= 1.
+_KIND_LITERAL = 2
 
 
 class TermDictionary:
@@ -44,16 +56,17 @@ class TermDictionary:
     URI('ex:a')
     """
 
-    __slots__ = ("_to_id", "_terms", "_is_resource", "_resource_arr")
+    __slots__ = ("_to_id", "_terms", "_kinds", "_kind_arr")
 
     def __init__(self) -> None:
         self._to_id: dict[Term, int] = {}
         self._terms: list[Term] = []
-        #: Parallel to ``_terms``: True where the term is a URI/BNode.
-        #: Maintained at encode time so decode-side consumers can test
-        #: resource-ness of whole id columns without a Python loop.
-        self._is_resource: list[bool] = []
-        self._resource_arr: np.ndarray | None = None
+        #: Parallel to ``_terms``: the term-kind byte (0 URI / 1 BNode /
+        #: 2 Literal).  Maintained at encode time so decode-side consumers
+        #: can test resource-ness (kind <= 1) or URI-ness (kind == 0) of
+        #: whole id columns without a Python loop.
+        self._kinds: list[int] = []
+        self._kind_arr: np.ndarray | None = None
 
     def encode(self, term: Term) -> int:
         """Id for ``term``, assigning the next dense id on first sight."""
@@ -62,9 +75,30 @@ class TermDictionary:
             tid = len(self._terms)
             self._to_id[term] = tid
             self._terms.append(term)
-            self._is_resource.append(is_resource(term))
-            self._resource_arr = None
+            self._kinds.append(term._kind)
+            self._kind_arr = None
         return tid
+
+    def encode_many(self, terms: Iterable[Term]) -> np.ndarray:
+        """Vectorized :meth:`encode`: one int64 id per input term, minting
+        ids for unseen terms in iteration order."""
+        to_id = self._to_id
+        term_list = self._terms
+        kinds = self._kinds
+        out: list[int] = []
+        grown = False
+        for term in terms:
+            tid = to_id.get(term)
+            if tid is None:
+                tid = len(term_list)
+                to_id[term] = tid
+                term_list.append(term)
+                kinds.append(term._kind)
+                grown = True
+            out.append(tid)
+        if grown:
+            self._kind_arr = None
+        return np.asarray(out, dtype=np.int64)
 
     def encode_existing(self, term: Term) -> int:
         """Id for a term that must already be present (raises ``KeyError``)."""
@@ -77,16 +111,29 @@ class TermDictionary:
     def decode(self, tid: int) -> Term:
         return self._terms[tid]
 
+    def decode_many(self, ids: np.ndarray) -> list[Term]:
+        """Vectorized :meth:`decode`: the term list for an id column."""
+        terms = self._terms
+        return [terms[i] for i in np.asarray(ids, dtype=np.int64).tolist()]
+
+    def _kind_array(self) -> np.ndarray:
+        arr = self._kind_arr
+        if arr is None or len(arr) != len(self._terms):
+            arr = self._kind_arr = np.asarray(self._kinds, dtype=np.int8)
+        return arr
+
     def resource_mask(self, ids: np.ndarray) -> np.ndarray:
         """Boolean array: ``mask[i]`` iff ``ids[i]`` names a URI/BNode.
 
-        Vectorized via the maintained per-id resource flags; the flag
-        array is rebuilt lazily after dictionary growth.
+        Vectorized via the maintained per-id kind bytes; the kind array is
+        rebuilt lazily after dictionary growth.
         """
-        arr = self._resource_arr
-        if arr is None or len(arr) != len(self._terms):
-            arr = self._resource_arr = np.asarray(self._is_resource, dtype=bool)
-        return arr[ids]
+        return self._kind_array()[ids] < _KIND_LITERAL
+
+    def uri_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean array: ``mask[i]`` iff ``ids[i]`` names a URI — the
+        predicate-position validity test of the columnar kernels."""
+        return self._kind_array()[ids] == 0
 
     def __contains__(self, term: Term) -> bool:
         return term in self._to_id
@@ -132,7 +179,7 @@ class PartitionDictionary:
     """
 
     __slots__ = ("base", "node_id", "k", "_base_size", "_to_id", "_by_id",
-                 "_minted")
+                 "_kind_by_id", "_minted")
 
     def __init__(self, base: TermDictionary, node_id: int, k: int) -> None:
         if not 0 <= node_id < k:
@@ -145,6 +192,9 @@ class PartitionDictionary:
         self._to_id: dict[Term, int] = {}
         #: id -> term for non-base ids.
         self._by_id: dict[int, Term] = {}
+        #: id -> kind byte for non-base ids (the non-base continuation of
+        #: the base dictionary's kind array).
+        self._kind_by_id: dict[int, int] = {}
         #: Count of ids minted locally (j in the stripe formula).
         self._minted = 0
 
@@ -161,7 +211,12 @@ class PartitionDictionary:
         self._minted += 1
         self._to_id[term] = tid
         self._by_id[tid] = term
+        self._kind_by_id[tid] = term._kind
         return tid
+
+    def encode_many(self, terms: Iterable[Term]) -> np.ndarray:
+        """Vectorized :meth:`encode` (one int64 id per input term)."""
+        return np.asarray([self.encode(t) for t in terms], dtype=np.int64)
 
     @property
     def base_size(self) -> int:
@@ -179,6 +234,16 @@ class PartitionDictionary:
             return self.base.decode(tid)
         return self._by_id[tid]
 
+    def decode_many(self, ids: np.ndarray) -> list[Term]:
+        """Vectorized :meth:`decode` for a mixed base/non-base id column."""
+        base_terms = self.base._terms
+        by_id = self._by_id
+        base_size = self._base_size
+        return [
+            base_terms[i] if i < base_size else by_id[i]
+            for i in np.asarray(ids, dtype=np.int64).tolist()
+        ]
+
     def apply_delta(self, entries: Sequence[tuple[int, Term]]) -> None:
         """Register a received delta-dictionary: peer-minted (id, term)
         pairs.  The term keeps its first-registered local encoding (a peer
@@ -188,7 +253,53 @@ class PartitionDictionary:
             if tid in self._by_id:
                 continue
             self._by_id[tid] = term
+            self._kind_by_id[tid] = term._kind
             self._to_id.setdefault(term, tid)
+
+    def canonical_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Map every id to the id :meth:`encode` would return for its term.
+
+        Two workers can mint different ids for the same runtime term;
+        id-space joins would miss rows that are term-equal but id-distinct.
+        Id-native workers therefore canonicalize every received id column
+        through this before it touches the local
+        :class:`~repro.rdf.idstore.IdGraph`.  Base ids map to themselves.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0 or int(ids.max(initial=0)) < self._base_size:
+            return ids
+        to_id = self._to_id
+        by_id = self._by_id
+        base_size = self._base_size
+        return np.asarray(
+            [i if i < base_size else to_id[by_id[i]] for i in ids.tolist()],
+            dtype=np.int64,
+        )
+
+    def _mask(self, ids: np.ndarray, literal_ok: bool) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        base_size = self._base_size
+        if ids.size == 0 or int(ids.max(initial=0)) < base_size:
+            arr = self.base._kind_array()[ids]
+            return arr < _KIND_LITERAL if literal_ok else arr == 0
+        kinds = self._kind_by_id
+        limit = _KIND_LITERAL if literal_ok else 1
+        base_kinds = self.base._kind_array()
+        return np.asarray(
+            [
+                (base_kinds[i] if i < base_size else kinds[i]) < limit
+                for i in ids.tolist()
+            ],
+            dtype=bool,
+        )
+
+    def resource_mask(self, ids: np.ndarray) -> np.ndarray:
+        """``mask[i]`` iff ``ids[i]`` names a URI/BNode (any stripe)."""
+        return self._mask(ids, literal_ok=True)
+
+    def uri_mask(self, ids: np.ndarray) -> np.ndarray:
+        """``mask[i]`` iff ``ids[i]`` names a URI (any stripe)."""
+        return self._mask(ids, literal_ok=False)
 
     def __contains__(self, term: Term) -> bool:
         return term in self.base or term in self._to_id
@@ -204,9 +315,14 @@ class EncodedGraph:
     encodes the i-th triple.  Resource nodes (URIs/BNodes in s/o position)
     and predicates share one id space, which is harmless: partitioning only
     looks at the s/o columns.
+
+    The derived views :meth:`resource_ids` and :meth:`edges` are cached —
+    partition policies consult them repeatedly while scoring candidate
+    cuts — and invalidated by :meth:`append` (the only mutator).
     """
 
-    __slots__ = ("dictionary", "s_ids", "p_ids", "o_ids")
+    __slots__ = ("dictionary", "s_ids", "p_ids", "o_ids",
+                 "_resource_ids", "_edges")
 
     def __init__(
         self,
@@ -221,6 +337,8 @@ class EncodedGraph:
         self.s_ids = s_ids
         self.p_ids = p_ids
         self.o_ids = o_ids
+        self._resource_ids: np.ndarray | None = None
+        self._edges: np.ndarray | None = None
 
     @classmethod
     def from_triples(
@@ -247,6 +365,30 @@ class EncodedGraph:
     def __len__(self) -> int:
         return len(self.s_ids)
 
+    def append(self, triples: Iterable[Triple]) -> int:
+        """Encode and append triples (rows are kept as given — the encoded
+        graph is a multiset).  Invalidates the cached derived views.
+        Returns the number of rows appended."""
+        enc = self.dictionary.encode
+        s_list: list[int] = []
+        p_list: list[int] = []
+        o_list: list[int] = []
+        for t in triples:
+            s_list.append(enc(t.s))
+            p_list.append(enc(t.p))
+            o_list.append(enc(t.o))
+        if not s_list:
+            return 0
+        self.s_ids = np.concatenate(
+            [self.s_ids, np.asarray(s_list, dtype=np.int64)])
+        self.p_ids = np.concatenate(
+            [self.p_ids, np.asarray(p_list, dtype=np.int64)])
+        self.o_ids = np.concatenate(
+            [self.o_ids, np.asarray(o_list, dtype=np.int64)])
+        self._resource_ids = None
+        self._edges = None
+        return len(s_list)
+
     def triple(self, index: int) -> Triple:
         d = self.dictionary
         return Triple(
@@ -261,13 +403,23 @@ class EncodedGraph:
 
     def resource_ids(self) -> np.ndarray:
         """Sorted unique ids of resource nodes (subjects, plus objects that
-        are URIs/BNodes) — the vertex set for partitioning."""
-        mask = self.dictionary.resource_mask(self.o_ids)
-        return np.union1d(self.s_ids, self.o_ids[mask])
+        are URIs/BNodes) — the vertex set for partitioning.  Cached until
+        :meth:`append`."""
+        cached = self._resource_ids
+        if cached is None:
+            mask = self.dictionary.resource_mask(self.o_ids)
+            cached = self._resource_ids = np.union1d(
+                self.s_ids, self.o_ids[mask])
+        return cached
 
     def edges(self) -> np.ndarray:
         """(m, 2) array of (subject_id, object_id) rows for triples whose
         object is a resource — the edge list of the RDF graph in the paper's
-        partitioning model.  Self-loops are kept (they don't affect cuts)."""
-        mask = self.dictionary.resource_mask(self.o_ids)
-        return np.stack([self.s_ids[mask], self.o_ids[mask]], axis=1)
+        partitioning model.  Self-loops are kept (they don't affect cuts).
+        Cached until :meth:`append`."""
+        cached = self._edges
+        if cached is None:
+            mask = self.dictionary.resource_mask(self.o_ids)
+            cached = self._edges = np.stack(
+                [self.s_ids[mask], self.o_ids[mask]], axis=1)
+        return cached

@@ -47,15 +47,24 @@ class Graph:
     URI('ex:b')
     """
 
-    __slots__ = ("_spo", "_pos", "_osp", "_size")
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "_version")
 
     def __init__(self, triples: Iterable[Triple] = ()) -> None:
         self._spo: dict[Term, dict[Term, set[Term]]] = {}
         self._pos: dict[Term, dict[Term, set[Term]]] = {}
         self._osp: dict[Term, dict[Term, set[Term]]] = {}
         self._size = 0
+        self._version = 0
         for t in triples:
             self.add(t)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every successful add/discard (and on
+        clear).  Lets mirror structures (the columnar engine's id-encoded
+        shadow copy) detect external modification in O(1) instead of
+        re-scanning the store."""
+        return self._version
 
     # -- mutation ---------------------------------------------------------
 
@@ -76,6 +85,7 @@ class Graph:
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        self._version += 1
         return True
 
     def add_spo(self, s: Term, p: Term, o: Term) -> bool:
@@ -119,6 +129,7 @@ class Graph:
             if not sp:
                 del self._osp[o]
         self._size -= 1
+        self._version += 1
         return True
 
     def clear(self) -> None:
@@ -126,6 +137,7 @@ class Graph:
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+        self._version += 1
 
     # -- queries ----------------------------------------------------------
 

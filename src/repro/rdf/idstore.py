@@ -1,0 +1,209 @@
+"""Id-native columnar triple store.
+
+:class:`IdGraph` holds a set of triples as three parallel int64 numpy
+columns — no term objects, no per-triple Python allocation.  It is the
+storage half of the columnar fixpoint path ("Datalog Reasoning over
+Compressed RDF Knowledge Bases" makes the case that dictionary-encoded,
+column-oriented storage is what keeps rule closure memory- and
+CPU-efficient); the execution half lives in :mod:`repro.datalog.columnar`.
+
+Index layout
+------------
+
+Instead of the term store's three nested-dict indexes (SPO/POS/OSP), the
+columnar store keeps *lazily-built sorted views*: for any subset of bound
+positions — ``(p,)``, ``(p, o)``, ``(s, p)``, ``(s, p, o)``, ... — it
+materializes, on first use, the rows' keys over those positions sorted
+lexicographically together with the permutation back to row numbers
+(:meth:`IdGraph.sorted_view`).  A pattern lookup is then a pair of
+``searchsorted`` calls yielding a contiguous ``[lo, hi)`` range per query
+— the vectorized equivalent of one nested-dict walk per tuple — and a
+batch of Q patterns is answered by *one* pair of searchsorted calls over
+all Q keys.  Views are cached per position subset and invalidated by
+append, so a semi-naive round pays at most one O(n log n) sort per view
+it actually probes.
+
+Multi-column keys use numpy *structured dtypes* (one int64 field per
+position): numpy sorts and searches structured arrays field-
+lexicographically, which gives correct multi-column ordering without
+bit-packing tricks or precision loss.
+
+Deduplication is vectorized throughout: batch-internal dedup is a
+``sort``/``unique`` over packed keys, store-membership is a searchsorted
+probe against the sorted (s, p, o) view (:meth:`IdGraph.contains_rows`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Growth factor for the amortized column buffers.
+_GROWTH = 2
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def pack_columns(columns: tuple[np.ndarray, ...]) -> np.ndarray:
+    """Pack parallel int64 columns into one structured array (a single
+    int64 array when only one column is given), whose element order is the
+    lexicographic order of the column tuple — the key representation every
+    sorted view and membership probe uses."""
+    if len(columns) == 1:
+        return np.ascontiguousarray(columns[0], dtype=np.int64)
+    dtype = np.dtype([(f"f{i}", np.int64) for i in range(len(columns))])
+    out = np.empty(len(columns[0]), dtype=dtype)
+    for i, col in enumerate(columns):
+        out[f"f{i}"] = col
+    return out
+
+
+def expand_ranges(
+    lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-query ``[lo, hi)`` index ranges.
+
+    Returns ``(flat, reps)``: ``flat`` concatenates every range's indices;
+    ``reps[i]`` is the query number that produced ``flat[i]``.  This is the
+    vectorized "inner loop" of a merge join — each query row fans out to
+    its matching sorted-view positions with no Python iteration.
+    """
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    reps = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    resets = np.repeat(np.cumsum(counts) - counts, counts)
+    flat = starts + (np.arange(total, dtype=np.int64) - resets)
+    return flat, reps
+
+
+def member_mask(sorted_keys: np.ndarray, query_keys: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``query_keys`` in the sorted key array."""
+    if len(sorted_keys) == 0:
+        return np.zeros(len(query_keys), dtype=bool)
+    pos = np.searchsorted(sorted_keys, query_keys)
+    pos_clipped = np.minimum(pos, len(sorted_keys) - 1)
+    return np.asarray(
+        (pos < len(sorted_keys)) & (sorted_keys[pos_clipped] == query_keys)
+    )
+
+
+class IdGraph:
+    """A set of id-encoded triples as growable int64 columns.
+
+    Rows are unique (set semantics, like :class:`repro.rdf.graph.Graph`);
+    :meth:`add_rows` performs the vectorized dedup.  The store never
+    inspects ids — term semantics (resource-ness, decode) live entirely in
+    the dictionary layer.
+    """
+
+    __slots__ = ("_s", "_p", "_o", "_n", "_views")
+
+    def __init__(self, capacity: int = 0) -> None:
+        cap = max(capacity, 0)
+        self._s = np.empty(cap, dtype=np.int64)
+        self._p = np.empty(cap, dtype=np.int64)
+        self._o = np.empty(cap, dtype=np.int64)
+        self._n = 0
+        #: position-subset -> (sorted keys, permutation to row numbers).
+        self._views: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The live ``(s, p, o)`` columns (views, not copies — treat as
+        read-only)."""
+        n = self._n
+        return self._s[:n], self._p[:n], self._o[:n]
+
+    def column(self, position: int) -> np.ndarray:
+        """One live column by triple position (0=s, 1=p, 2=o)."""
+        return self.columns()[position]
+
+    # -- mutation ---------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= len(self._s):
+            return
+        cap = max(need, _GROWTH * len(self._s), 1024)
+        for name in ("_s", "_p", "_o"):
+            buf = np.empty(cap, dtype=np.int64)
+            buf[: self._n] = getattr(self, name)[: self._n]
+            setattr(self, name, buf)
+
+    def add_rows(
+        self, s: np.ndarray, p: np.ndarray, o: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Insert rows, deduplicating against the batch and the store.
+
+        Returns the rows actually added (unique, in key-sorted order) —
+        the semi-naive "new facts" of a round.
+        """
+        if len(s) == 0:
+            return _EMPTY, _EMPTY, _EMPTY
+        keys = pack_columns((s, p, o))
+        uniq, first = np.unique(keys, return_index=True)
+        s, p, o = s[first], p[first], o[first]
+        view = self._views.get((0, 1, 2))
+        if view is not None:
+            fresh = ~member_mask(view[0], uniq)
+        elif self._n:
+            fresh = ~member_mask(
+                np.sort(pack_columns(self.columns())), uniq)
+        else:
+            fresh = np.ones(len(uniq), dtype=bool)
+        s, p, o = s[fresh], p[fresh], o[fresh]
+        if len(s):
+            self._reserve(len(s))
+            n = self._n
+            self._s[n: n + len(s)] = s
+            self._p[n: n + len(p)] = p
+            self._o[n: n + len(o)] = o
+            self._n = n + len(s)
+            self._views.clear()
+        return s, p, o
+
+    # -- queries ----------------------------------------------------------
+
+    def contains_rows(
+        self, s: np.ndarray, p: np.ndarray, o: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized membership: ``mask[i]`` iff row i is in the store."""
+        if self._n == 0:
+            return np.zeros(len(s), dtype=bool)
+        keys, _perm = self.sorted_view((0, 1, 2))
+        return member_mask(keys, pack_columns((s, p, o)))
+
+    def sorted_view(
+        self, positions: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The rows' keys over ``positions``, sorted, plus the permutation
+        mapping sorted index -> row number.  Built lazily, cached until the
+        next append."""
+        cached = self._views.get(positions)
+        if cached is None:
+            keys = pack_columns(tuple(self.column(pos) for pos in positions))
+            perm = np.argsort(keys, kind="stable")
+            cached = self._views[positions] = (keys[perm], perm)
+        return cached
+
+    def range_lookup(
+        self, positions: tuple[int, ...], query_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch pattern lookup: for each query key over ``positions``,
+        the matching row numbers.
+
+        Returns ``(rows, reps)`` where ``rows`` are store row numbers and
+        ``reps[i]`` is the query that matched ``rows[i]`` — one
+        searchsorted pair for the whole batch.
+        """
+        keys, perm = self.sorted_view(positions)
+        lo = np.searchsorted(keys, query_keys, side="left")
+        hi = np.searchsorted(keys, query_keys, side="right")
+        flat, reps = expand_ranges(lo, hi)
+        return perm[flat], reps
+
+    def __repr__(self) -> str:
+        return f"<IdGraph with {self._n} rows>"
