@@ -15,6 +15,8 @@ archives as one artifact.
 
 import json
 import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -28,6 +30,7 @@ from repro.owl import HorstReasoner
 from repro.rdf import Graph, URI
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.idstore import IdGraph
+from repro.rdf.runstore import RunStore
 
 TRANS = parse_rules("@prefix ex: <ex:>\n"
                     "[t: (?a ex:p ?b) (?b ex:p ?c) -> (?a ex:p ?c)]")
@@ -234,6 +237,158 @@ def _wire_numbers():
         "bytes_on_wire": payload,
         "bytes_per_tuple": round(payload / tuples, 2) if tuples else 0.0,
     }
+
+
+_RSS_PROBE = """\
+import json, resource, sys
+import numpy as np
+from repro.datasets import LUBM
+from repro.datalog.columnar import ColumnarEngine
+from repro.owl import HorstReasoner
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.idstore import IdGraph
+from repro.rdf.runstore import RunStore
+
+kind, budget = sys.argv[1], int(sys.argv[2])
+lubm = LUBM(8, seed=0)
+base = lubm.data.copy()
+base.update(lubm.ontology)
+rules = HorstReasoner(lubm.ontology).rules
+dictionary = TermDictionary()
+enc = dictionary.encode
+s, p, o = [], [], []
+for a, b, c in base.spo_items():
+    s.append(enc(a)), p.append(enc(b)), o.append(enc(c))
+if kind == "dense":
+    store = IdGraph(capacity=len(s))
+else:
+    store = RunStore(memory_budget_bytes=budget)
+store.add_rows(np.asarray(s, dtype=np.int64), np.asarray(p, dtype=np.int64),
+               np.asarray(o, dtype=np.int64))
+result = ColumnarEngine(rules, dictionary).run(store)
+print(json.dumps({
+    "rows": len(store),
+    "store_bytes": store.memory_bytes(),
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "derived": result.stats.derived,
+}))
+"""
+
+
+def _closure_peak_rss(kind: str, budget: int) -> dict:
+    """Close LUBM(8) in a fresh interpreter and report its peak RSS
+    (``ru_maxrss``) plus the store's accounted bytes — process-level
+    ground truth for the budget accounting, free of this process's
+    allocator history."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) \
+        + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_PROBE, kind, str(budget)],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_ablation_run_store_memory_budget(tmp_path):
+    """Acceptance gate for the memory-budgeted run store (DESIGN.md §12).
+
+    Three closures of the same LUBM(8) KB through the columnar kernels:
+
+    * dense — the ``IdGraph`` mirror (baseline);
+    * in-RAM run store — ``tail_rows=4096`` forces real seals/merges
+      while everything stays resident: the throughput comparison;
+    * budgeted — ``memory_budget_bytes`` set to a third of what the
+      dense mirror measures *after* closure, i.e. a cap under which the
+      dense store could not even hold the result.
+
+    Gates: identical work counters on all three paths (the run store is
+    an exact drop-in, not an approximation), in-RAM throughput >= 0.8x
+    dense, budgeted residency within the cap, and compressed payload
+    <= 0.5x dense bytes/triple.  Peak-RSS numbers come from subprocess
+    probes and are recorded (not gated — interpreter baseline dominates
+    at this scale) in ``BENCH_core.json`` for CI to archive.
+    """
+    from repro.datasets import LUBM
+
+    lubm = LUBM(8, seed=0)
+    base = lubm.data.copy()
+    base.update(lubm.ontology)
+    rules = HorstReasoner(lubm.ontology).rules
+
+    def closure(store):
+        dictionary = TermDictionary()
+        t0 = time.perf_counter()
+        enc = dictionary.encode
+        s_list, p_list, o_list = [], [], []
+        for s, p, o in base.spo_items():
+            s_list.append(enc(s)), p_list.append(enc(p)), o_list.append(enc(o))
+        store.add_rows(
+            np.asarray(s_list, dtype=np.int64),
+            np.asarray(p_list, dtype=np.int64),
+            np.asarray(o_list, dtype=np.int64),
+        )
+        result = ColumnarEngine(rules, dictionary).run(store)
+        return store, result.stats, time.perf_counter() - t0
+
+    dense_best = run_best = float("inf")
+    for _ in range(3):
+        dense, dense_stats, seconds = closure(IdGraph(capacity=len(base)))
+        dense_best = min(dense_best, seconds)
+        run, run_stats, seconds = closure(RunStore(tail_rows=4096))
+        run_best = min(run_best, seconds)
+
+    # A budget the dense mirror demonstrably cannot fit under.
+    budget = dense.memory_bytes() // 3
+    assert dense.memory_bytes() > budget
+    budgeted, budgeted_stats, _ = closure(
+        RunStore(memory_budget_bytes=budget))
+
+    # Exact drop-in: same closure, same counters, on both run-store paths.
+    for stats in (run_stats, budgeted_stats):
+        assert len(budgeted) == len(dense)
+        assert stats.join_probes == dense_stats.join_probes
+        assert stats.firings == dense_stats.firings
+        assert stats.derived == dense_stats.derived
+
+    assert budgeted.in_ram_bytes() <= budget
+    dense_bpt = dense.memory_bytes() / len(dense)
+    run_bpt = run.payload_bytes() / len(run)
+    assert run_bpt <= 0.5 * dense_bpt
+    assert run_best <= dense_best / 0.8, (run_best, dense_best)
+
+    dense_rss = _closure_peak_rss("dense", 0)
+    budgeted_rss = _closure_peak_rss("run", budget)
+    section = {
+        "dataset": "LUBM(8)",
+        "closure_triples": len(dense),
+        "budget_bytes": budget,
+        "dense": {
+            "seconds": round(dense_best, 6),
+            "store_bytes": dense.memory_bytes(),
+            "bytes_per_triple": round(dense_bpt, 2),
+            "peak_rss_kb": dense_rss["peak_rss_kb"],
+        },
+        "run_store": {
+            "seconds": round(run_best, 6),
+            "payload_bytes": run.payload_bytes(),
+            "bytes_per_triple": round(run_bpt, 2),
+            "throughput_vs_dense": round(dense_best / run_best, 2),
+        },
+        "budgeted": {
+            "in_ram_bytes": budgeted.in_ram_bytes(),
+            "payload_bytes": budgeted.payload_bytes(),
+            "peak_rss_kb": budgeted_rss["peak_rss_kb"],
+            **{k: v for k, v in budgeted.store_stats().items()
+               if k in ("runs", "seals", "merges", "spills")},
+        },
+    }
+    path = _core_results_path(tmp_path)
+    results = json.loads(path.read_text()) if path.exists() else {}
+    results["runstore"] = section
+    path.write_text(json.dumps(results, indent=2) + "\n")
 
 
 def test_bench_forward_materialization(benchmark, lubm_tiny):

@@ -118,6 +118,7 @@ class LintConfig:
     spawn_scope: tuple[str, ...] = (
         "repro/parallel/",
         "repro/rdf/idstore",
+        "repro/rdf/runstore",
         "repro/datalog/columnar",
     )
     #: Scope for CX105: unseeded randomness matters where determinism is a
@@ -128,6 +129,7 @@ class LintConfig:
         "repro/parallel/",
         "repro/graphpart/",
         "repro/rdf/idstore",
+        "repro/rdf/runstore",
     )
 
     def in_scope(self, path: str, scope: tuple[str, ...]) -> bool:

@@ -52,12 +52,18 @@ import numpy as np
 from repro.datalog.ast import Rule
 from repro.datalog.plan import AtomSpec, PlanKind, RulePlan, build_plan
 from repro.rdf.idstore import IdGraph, member_mask, pack_columns
+from repro.rdf.runstore import RunStore
 from repro.rdf.terms import Term
 
 if TYPE_CHECKING:
     from repro.datalog.engine import EngineStats
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: Either triple store the kernels can evaluate over: both expose the
+#: same value-probe surface (``probe`` / ``contains_rows`` /
+#: ``add_rows`` / ``columns``), so the fixpoint below is store-blind.
+IdStore = IdGraph | RunStore
 
 #: (position, slot) pair: a variable slot read from / written to a triple
 #: position.
@@ -155,15 +161,16 @@ def _eq_filter(
 
 
 def _probe(
-    source: IdGraph,
+    source: IdStore,
     const: _Const,
     keys: list[_Assign],
     env: dict[int, np.ndarray],
     n_env: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Batch index probe: for each of ``n_env`` binding rows, the source
-    rows matching the pattern ``const + bound slots``.  Returns
-    ``(row_numbers, env_index_per_row)``."""
+) -> tuple[Columns, np.ndarray]:
+    """Batch index probe: for each of ``n_env`` binding rows, the
+    *values* of the source rows matching the pattern ``const + bound
+    slots``.  Returns ``((s, p, o), env_index_per_row)`` — value-based
+    so dense and run stores answer it identically."""
     items: list[tuple[int, np.ndarray]] = []
     for pos in range(3):
         cid = const[pos]
@@ -173,14 +180,14 @@ def _probe(
         items.append((pos, env[slot]))
     if not items:
         # Fully unconstrained pattern: cartesian with the whole source.
-        n = len(source)
-        rows = np.tile(np.arange(n, dtype=np.int64), n_env)
+        cs, cp, co = source.columns()
+        n = len(cs)
         reps = np.repeat(np.arange(n_env, dtype=np.int64), n)
-        return rows, reps
+        return (np.tile(cs, n_env), np.tile(cp, n_env),
+                np.tile(co, n_env)), reps
     items.sort(key=lambda item: item[0])
     positions = tuple(pos for pos, _arr in items)
-    query = pack_columns(tuple(arr for _pos, arr in items))
-    return source.range_lookup(positions, query)
+    return source.probe(positions, tuple(arr for _pos, arr in items))
 
 
 def _build_head(
@@ -223,7 +230,7 @@ class ScanIdKernel:
         self._head = _encode_head(plan.head.spec, dictionary)
 
     def eval_delta(
-        self, graph: IdGraph, delta: IdGraph, stats: EngineStatsLike
+        self, graph: IdStore, delta: IdGraph, stats: EngineStatsLike
     ) -> Columns:
         cand = _const_filter(delta.columns(), self._const, stats)
         cand, _ = _eq_filter(cand, self._eqs)
@@ -268,7 +275,7 @@ class JoinIdKernel:
         self._halves = tuple(halves)
 
     def eval_delta(
-        self, graph: IdGraph, delta: IdGraph, stats: EngineStatsLike
+        self, graph: IdStore, delta: IdGraph, stats: EngineStatsLike
     ) -> Columns:
         parts: list[Columns] = []
         for half_no, half in enumerate(self._halves):
@@ -279,9 +286,7 @@ class JoinIdKernel:
             if n_d == 0:
                 continue
             env = {slot: dcand[pos] for pos, slot in d_sets}
-            rows, reps = _probe(graph, o_const, o_keys, env, n_d)
-            gs, gp, go = graph.columns()
-            cand: Columns = (gs[rows], gp[rows], go[rows])
+            cand, reps = _probe(graph, o_const, o_keys, env, n_d)
             if half_no == 1 and len(cand[0]):
                 # (Δ ⋈ G∖Δ): the restriction resolves Δ-members away
                 # before they are yielded — they are not join probes.
@@ -344,18 +349,16 @@ class GenericIdKernel:
         self._orders = tuple(orders)
 
     def eval_delta(
-        self, graph: IdGraph, delta: IdGraph, stats: EngineStatsLike
+        self, graph: IdStore, delta: IdGraph, stats: EngineStatsLike
     ) -> Columns:
         env_parts: list[np.ndarray] = []
         for steps in self._orders:
             env = np.zeros((1, self._nvars or 1), dtype=np.int64)
             for use_delta, const, keys, sets, eqs in steps:
-                source = delta if use_delta else graph
+                source: IdStore = delta if use_delta else graph
                 bound_env = {slot: env[:, slot] for _pos, slot in keys}
-                rows, reps = _probe(source, const, keys, bound_env, len(env))
-                stats.join_probes += len(rows)
-                cs, cp, co = source.columns()
-                cand: Columns = (cs[rows], cp[rows], co[rows])
+                cand, reps = _probe(source, const, keys, bound_env, len(env))
+                stats.join_probes += len(cand[0])
                 cand, reps_f = _eq_filter(cand, eqs, reps)
                 reps = reps_f if reps_f is not None else reps
                 env = env[reps]
@@ -472,7 +475,7 @@ class ColumnarEngine:
         return tuple(k.kind.value for k in self._kernels)
 
     def run(
-        self, graph: IdGraph, delta: Columns | None = None
+        self, graph: IdStore, delta: Columns | None = None
     ) -> ColumnarFixpoint:
         """Run to fixpoint, mutating ``graph`` in place.
 

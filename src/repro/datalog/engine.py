@@ -179,6 +179,11 @@ class GenericKernel:
 #: The engine execution layers ``SemiNaiveEngine`` can select per instance.
 EngineKind = Literal["generic", "compiled", "columnar"]
 
+#: The columnar mirror's storage backends: dense int64 columns
+#: (:class:`~repro.rdf.idstore.IdGraph`) or compressed LSM runs under a
+#: memory budget (:class:`~repro.rdf.runstore.RunStore`).
+StoreKind = Literal["dense", "run"]
+
 
 class SemiNaiveEngine:
     """Semi-naive fixpoint evaluator over a fixed rule set.
@@ -219,6 +224,8 @@ class SemiNaiveEngine:
         max_iterations: int | None = None,
         compile_rules: bool = True,
         engine: EngineKind | None = None,
+        store: StoreKind | None = None,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         self.rules = tuple(rules)
         #: Safety valve for runaway rule sets; ``None`` means run to fixpoint.
@@ -227,6 +234,21 @@ class SemiNaiveEngine:
             engine = "compiled" if compile_rules else "generic"
         if engine not in ("generic", "compiled", "columnar"):
             raise ValueError(f"unknown engine {engine!r}")
+        if store is None:
+            store = "run" if memory_budget_bytes is not None else "dense"
+        if store not in ("dense", "run"):
+            raise ValueError(f"unknown store {store!r}")
+        if engine != "columnar" and (
+            store == "run" or memory_budget_bytes is not None
+        ):
+            raise ValueError(
+                "store='run' / memory_budget_bytes require engine='columnar'"
+            )
+        #: Columnar mirror storage: ``"dense"`` keeps an
+        #: :class:`~repro.rdf.idstore.IdGraph`, ``"run"`` a memory-budgeted
+        #: :class:`~repro.rdf.runstore.RunStore`.
+        self.store_kind: StoreKind = store
+        self.memory_budget_bytes = memory_budget_bytes
         self.engine_kind: EngineKind = engine
         self.compile_rules = engine != "generic"
         for rule in self.rules:
@@ -334,11 +356,19 @@ class SemiNaiveEngine:
 
     # -- columnar execution --------------------------------------------------
 
+    def _make_store(self, capacity: int):
+        """A fresh mirror store of the configured kind."""
+        if self.store_kind == "run":
+            from repro.rdf.runstore import RunStore
+
+            return RunStore(memory_budget_bytes=self.memory_budget_bytes)
+        from repro.rdf.idstore import IdGraph
+
+        return IdGraph(capacity=capacity)
+
     def _sync_mirror(self, graph: Graph):
         """The id-encoded shadow of ``graph``, rebuilt only when the graph
         object or its mutation counter changed since the last sync."""
-        from repro.rdf.idstore import IdGraph
-
         state = self._mirror_state
         if (
             self._mirror is not None
@@ -357,7 +387,7 @@ class SemiNaiveEngine:
             s_list.append(enc(s))
             p_list.append(enc(p))
             o_list.append(enc(o))
-        mirror = IdGraph(capacity=len(s_list))
+        mirror = self._make_store(capacity=len(s_list))
         mirror.add_rows(
             np.asarray(s_list, dtype=np.int64),
             np.asarray(p_list, dtype=np.int64),

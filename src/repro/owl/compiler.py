@@ -54,14 +54,21 @@ class CompiledRuleSet:
         return len(self.rules)
 
     def engine(
-        self, compile_rules: bool = True, engine: str | None = None
+        self,
+        compile_rules: bool = True,
+        engine: str | None = None,
+        store: str | None = None,
+        memory_budget_bytes: int | None = None,
     ) -> SemiNaiveEngine:
         """A fresh fixpoint engine over the compiled rules.
         ``compile_rules=False`` selects the generic-interpreter ablation;
         ``engine`` picks the execution layer directly ("generic" /
-        "compiled" / "columnar")."""
+        "compiled" / "columnar"); ``store`` / ``memory_budget_bytes``
+        pick the columnar mirror storage ("dense" / "run") and its
+        resident-byte cap."""
         return SemiNaiveEngine(
-            self.rules, compile_rules=compile_rules, engine=engine
+            self.rules, compile_rules=compile_rules, engine=engine,
+            store=store, memory_budget_bytes=memory_budget_bytes,
         )
 
     def check_single_join(self) -> None:

@@ -61,16 +61,22 @@ class MaterializedKB:
         include_sameas_propagation: bool | str = "auto",
         compile_rules: bool = True,
         engine: str | None = None,
+        store: str | None = None,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         self.compiled: CompiledRuleSet = compile_ontology(
             ontology, include_sameas_propagation=include_sameas_propagation
         )
         # ``engine="columnar"`` keeps an id-encoded mirror of the closed
         # graph across incremental add() calls (the engine caches it per
-        # graph object), so repeated small loads stay cheap.
+        # graph object), so repeated small loads stay cheap.  ``store`` /
+        # ``memory_budget_bytes`` select that mirror's storage: "run"
+        # keeps it as compressed sorted runs under a resident-byte cap.
         self._engine = SemiNaiveEngine(self.compiled.rules,
                                        compile_rules=compile_rules,
-                                       engine=engine)
+                                       engine=engine,
+                                       store=store,
+                                       memory_budget_bytes=memory_budget_bytes)
         self._base = Graph()
         self._closed = Graph()
         self._stats = EngineStats()

@@ -87,6 +87,8 @@ class HorstReasoner:
         split_sameas: bool = True,
         compile_rules: bool = True,
         engine: str | None = None,
+        store: str | None = None,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         self.compiled: CompiledRuleSet = compile_ontology(
             ontology,
@@ -100,6 +102,10 @@ class HorstReasoner:
         #: "compiled" / "columnar"; ``None`` derives it from
         #: ``compile_rules`` (the legacy spelling).
         self.engine = engine
+        #: Columnar mirror storage ("dense" / "run") and its resident-byte
+        #: cap — forwarded to every engine this reasoner builds.
+        self.store = store
+        self.memory_budget_bytes = memory_budget_bytes
 
     @classmethod
     def from_dataset(cls, graph: Graph, **kwargs) -> tuple["HorstReasoner", Graph]:
@@ -127,7 +133,9 @@ class HorstReasoner:
         if strategy == "forward":
             working = data.copy()
             fp: FixpointResult = self.compiled.engine(
-                compile_rules=self.compile_rules, engine=self.engine
+                compile_rules=self.compile_rules, engine=self.engine,
+                store=self.store,
+                memory_budget_bytes=self.memory_budget_bytes,
             ).run(working)
             out = working
             inferred = len(fp.inferred)

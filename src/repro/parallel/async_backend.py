@@ -161,6 +161,8 @@ def run_async_inprocess(
     degrade: str = "abort",
     max_retries: int = 2,
     engine: str | None = None,
+    store: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> AsyncRunResult:
     """Round-free run with in-process workers and controllable delivery.
 
@@ -215,6 +217,8 @@ def run_async_inprocess(
             router=router,
             dictionary=PartitionDictionary(base, i, stripes),
             engine=engine,
+            store=store,
+            memory_budget_bytes=memory_budget_bytes,
         )
         for i in range(k)
     ]
@@ -288,6 +292,8 @@ def run_async_inprocess(
             ),
             epoch=epoch[node],
             engine=engine,
+            store=store,
+            memory_budget_bytes=memory_budget_bytes,
         )
         workers[node] = replacement
         boot = replacement.bootstrap()
@@ -397,6 +403,10 @@ class _AsyncNodeConfig:
     #: Execution-layer choice forwarded to every hosted worker
     #: ("columnar" makes adopted incarnations id-native too).
     engine: str | None = None
+    #: Columnar store choice ("dense" / "run") and per-worker resident
+    #: cap — adopted incarnations rebuild with the same budget.
+    store: str | None = None
+    memory_budget_bytes: int | None = None
 
 
 def _make_logical_worker(cfg: _AsyncNodeConfig, epoch: int) -> PartitionWorker:
@@ -411,6 +421,8 @@ def _make_logical_worker(cfg: _AsyncNodeConfig, epoch: int) -> PartitionWorker:
         ),
         epoch=epoch,
         engine=cfg.engine,
+        store=cfg.store,
+        memory_budget_bytes=cfg.memory_budget_bytes,
     )
 
 
@@ -493,6 +505,8 @@ def run_multiprocess_async(
     supervision: SupervisionPolicy | None = None,
     with_stats: bool = False,
     engine: str | None = None,
+    store: str | None = None,
+    memory_budget_bytes: int | None = None,
 ):
     """Round-free execution across real processes; returns the unioned KB
     (or the full :class:`AsyncRunResult` with ``with_stats=True``).
@@ -544,6 +558,8 @@ def run_multiprocess_async(
             rule_sets=[list(rs) for rs in rule_sets] if rule_sets else None,
             base_terms=base_terms,
             engine=engine,
+            store=store,
+            memory_budget_bytes=memory_budget_bytes,
         )
         cfgs.append(cfg)
         proc = ctx.Process(

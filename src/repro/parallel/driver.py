@@ -89,6 +89,8 @@ class ParallelReasoner:
         seed: int = 0,
         compile_rules: bool = True,
         engine: str | None = None,
+        store: str | None = None,
+        memory_budget_bytes: int | None = None,
         encode_wire: bool = False,
         degrade: str = "abort",
         max_retries: int = 2,
@@ -123,6 +125,11 @@ class ParallelReasoner:
         #: fully id-native path — received rows enter the columnar store
         #: and are reasoned over and routed without materializing terms.
         self.engine = engine
+        #: Columnar store per worker: "dense" (IdGraph) or "run" (the
+        #: memory-budgeted compressed RunStore); ``memory_budget_bytes``
+        #: is the *per-worker* resident cap the run store honors.
+        self.store = store
+        self.memory_budget_bytes = memory_budget_bytes
         #: Speak the id-encoded wire protocol: workers exchange
         #: :class:`~repro.parallel.messages.EncodedBatch` (int64 rows +
         #: delta dictionaries) instead of term-level batches, with
@@ -204,6 +211,8 @@ class ParallelReasoner:
                     compile_rules=self.compile_rules,
                     dictionary=dictionaries[i],
                     engine=self.engine,
+                    store=self.store,
+                    memory_budget_bytes=self.memory_budget_bytes,
                 )
                 for i in range(self.k)
             ]
@@ -232,6 +241,8 @@ class ParallelReasoner:
                     compile_rules=self.compile_rules,
                     dictionary=dictionaries[i],
                     engine=self.engine,
+                    store=self.store,
+                    memory_budget_bytes=self.memory_budget_bytes,
                 )
                 for i in range(self.k)
             ]
@@ -366,7 +377,8 @@ class ParallelReasoner:
                 start_method=start_method, idle_timeout=idle_timeout,
                 degrade=self.degrade, max_retries=self.max_retries,
                 supervision=self.supervision, with_stats=True,
-                engine=self.engine,
+                engine=self.engine, store=self.store,
+                memory_budget_bytes=self.memory_budget_bytes,
             )
         else:
             policy = self.supervision
@@ -376,7 +388,8 @@ class ParallelReasoner:
                 delivery=delivery, seed=self.seed, faults=faults,
                 degrade=policy.degrade if policy else self.degrade,
                 max_retries=policy.max_retries if policy else self.max_retries,
-                engine=self.engine,
+                engine=self.engine, store=self.store,
+                memory_budget_bytes=self.memory_budget_bytes,
             )
         result.graph.update(iter(schema))
         result.graph.update(iter(self.compiled.schema))

@@ -40,6 +40,7 @@ from repro.parallel.routing import Router
 from repro.rdf.dictionary import PartitionDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.idstore import IdGraph
+from repro.rdf.runstore import RunStore
 from repro.rdf.terms import Term
 from repro.rdf.triple import Triple
 from repro.util.timing import Stopwatch
@@ -102,6 +103,8 @@ class PartitionWorker:
         dictionary: PartitionDictionary | None = None,
         epoch: int = 0,
         engine: str | None = None,
+        store: str | None = None,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         self.node_id = node_id
         #: Incarnation number: 0 for the original worker, bumped each time
@@ -131,12 +134,26 @@ class PartitionWorker:
             and dictionary is not None
             and strategy == "forward"
         )
+        #: Columnar store choice: "dense" (IdGraph) or "run" — the
+        #: memory-budgeted compressed :class:`RunStore`; ``None`` derives
+        #: it from whether a budget was given.  Recorded on the worker so
+        #: supervision can rebuild adopted incarnations with the same
+        #: storage and budget.
+        if store is None:
+            store = "run" if memory_budget_bytes is not None else "dense"
+        self.store = store
+        self.memory_budget_bytes = memory_budget_bytes
         if self.id_native:
             assert dictionary is not None
             self.engine = None
             self._columnar: ColumnarEngine | None = ColumnarEngine(
                 self.rules, dictionary)
-            self._idgraph: IdGraph | None = IdGraph(capacity=len(self.graph))
+            self._idgraph: IdGraph | RunStore | None
+            if store == "run":
+                self._idgraph = RunStore(
+                    memory_budget_bytes=memory_budget_bytes)
+            else:
+                self._idgraph = IdGraph(capacity=len(self.graph))
             enc = dictionary.encode
             s_list, p_list, o_list = [], [], []
             for t in self.graph:
@@ -152,7 +169,10 @@ class PartitionWorker:
             #: Every partition runs the compiled kernels by default — the
             #: per-partition fixpoint is the hottest path in Algorithms 1-3.
             self.engine = SemiNaiveEngine(
-                self.rules, compile_rules=compile_rules, engine=engine)
+                self.rules, compile_rules=compile_rules, engine=engine,
+                store=store if engine == "columnar" else None,
+                memory_budget_bytes=(
+                    memory_budget_bytes if engine == "columnar" else None))
             self._columnar = None
             self._idgraph = None
         self.router = router

@@ -14,6 +14,7 @@ from repro.rdf.namespace import Namespace, RDF, RDFS, OWL, XSD
 from repro.rdf.graph import Graph
 from repro.rdf.dictionary import EncodedGraph, PartitionDictionary, TermDictionary
 from repro.rdf.idstore import IdGraph
+from repro.rdf.runstore import RunStore
 from repro.rdf.query import BGPQuery, BGPStats
 from repro.rdf.turtle import (
     TurtleParseError,
@@ -55,6 +56,7 @@ __all__ = [
     "PartitionDictionary",
     "EncodedGraph",
     "IdGraph",
+    "RunStore",
     "NTriplesParseError",
     "TurtleParseError",
     "parse_turtle",

@@ -19,9 +19,19 @@ lexicographically together with the permutation back to row numbers
 ``searchsorted`` calls yielding a contiguous ``[lo, hi)`` range per query
 — the vectorized equivalent of one nested-dict walk per tuple — and a
 batch of Q patterns is answered by *one* pair of searchsorted calls over
-all Q keys.  Views are cached per position subset and invalidated by
-append, so a semi-naive round pays at most one O(n log n) sort per view
-it actually probes.
+all Q keys.
+
+Views are cached per position subset and survive appends: a view built
+over the first ``covered`` rows stays valid for those rows, and the
+*pending tail* ``[covered, n)`` appended since is probed through a small
+tail-only sort (O(t log t) for a tail of t rows) merged with the main
+view's answer.  Only when the tail outgrows a threshold (a quarter of
+the store by default) is the full view re-argsorted.  Alternating
+append/probe workloads — the semi-naive loop is exactly that: every
+round appends a delta, then probes — therefore pay per round for
+sorting the delta, not the store.  ``sorted_view`` still returns a
+full-coverage view (rebuilding when stale) for callers that need one
+key array over all rows.
 
 Multi-column keys use numpy *structured dtypes* (one int64 field per
 position): numpy sorts and searches structured arrays field-
@@ -97,16 +107,32 @@ class IdGraph:
     the dictionary layer.
     """
 
-    __slots__ = ("_s", "_p", "_o", "_n", "_views")
+    __slots__ = ("_s", "_p", "_o", "_n", "_views", "_tail_views",
+                 "_tail_threshold")
 
-    def __init__(self, capacity: int = 0) -> None:
+    def __init__(
+        self, capacity: int = 0, tail_threshold: int | None = None
+    ) -> None:
         cap = max(capacity, 0)
         self._s = np.empty(cap, dtype=np.int64)
         self._p = np.empty(cap, dtype=np.int64)
         self._o = np.empty(cap, dtype=np.int64)
         self._n = 0
-        #: position-subset -> (sorted keys, permutation to row numbers).
-        self._views: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
+        #: position-subset -> (sorted keys, permutation to row numbers,
+        #: rows covered).  Rows past ``covered`` are the pending tail.
+        self._views: dict[
+            tuple[int, ...], tuple[np.ndarray, np.ndarray, int]
+        ] = {}
+        #: position-subset -> (sorted tail keys, global row numbers,
+        #: covered, n) — valid only while (covered, n) match the main view.
+        self._tail_views: dict[
+            tuple[int, ...], tuple[np.ndarray, np.ndarray, int, int]
+        ] = {}
+        #: Pending-tail size past which a probe rebuilds the full view
+        #: instead of tail-probing; ``None`` = adaptive (a quarter of the
+        #: store), ``0`` = always rebuild (the pre-tail-probing behavior,
+        #: kept for the ablation microbench).
+        self._tail_threshold = tail_threshold
 
     def __len__(self) -> int:
         return self._n
@@ -146,12 +172,8 @@ class IdGraph:
         keys = pack_columns((s, p, o))
         uniq, first = np.unique(keys, return_index=True)
         s, p, o = s[first], p[first], o[first]
-        view = self._views.get((0, 1, 2))
-        if view is not None:
-            fresh = ~member_mask(view[0], uniq)
-        elif self._n:
-            fresh = ~member_mask(
-                np.sort(pack_columns(self.columns())), uniq)
+        if self._n:
+            fresh = ~self._member_packed(uniq)
         else:
             fresh = np.ones(len(uniq), dtype=bool)
         s, p, o = s[fresh], p[fresh], o[fresh]
@@ -162,7 +184,6 @@ class IdGraph:
             self._p[n: n + len(p)] = p
             self._o[n: n + len(o)] = o
             self._n = n + len(s)
-            self._views.clear()
         return s, p, o
 
     # -- queries ----------------------------------------------------------
@@ -173,21 +194,70 @@ class IdGraph:
         """Vectorized membership: ``mask[i]`` iff row i is in the store."""
         if self._n == 0:
             return np.zeros(len(s), dtype=bool)
-        keys, _perm = self.sorted_view((0, 1, 2))
-        return member_mask(keys, pack_columns((s, p, o)))
+        return self._member_packed(pack_columns((s, p, o)))
+
+    def _member_packed(self, query_keys: np.ndarray) -> np.ndarray:
+        """Membership of packed (s, p, o) keys, via the two-part view."""
+        mask: np.ndarray | None = None
+        for keys, _perm in self._view_parts((0, 1, 2)):
+            part = member_mask(keys, query_keys)
+            mask = part if mask is None else mask | part
+        if mask is None:
+            return np.zeros(len(query_keys), dtype=bool)
+        return mask
+
+    def _rebuild(
+        self, positions: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        keys = pack_columns(tuple(self.column(pos) for pos in positions))
+        perm = np.argsort(keys, kind="stable")
+        cached = self._views[positions] = (keys[perm], perm, self._n)
+        self._tail_views.pop(positions, None)
+        return cached
+
+    def _view_parts(
+        self, positions: tuple[int, ...]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """The sorted segments answering a probe over ``positions``: the
+        cached main view plus (when the pending tail is small enough) a
+        tail-only sorted segment; a tail past the rebuild threshold folds
+        into a fresh full view instead."""
+        n = self._n
+        cached = self._views.get(positions)
+        if cached is None:
+            keys, perm, _cov = self._rebuild(positions)
+            return [(keys, perm)]
+        keys, perm, covered = cached
+        tail = n - covered
+        if tail == 0:
+            return [(keys, perm)]
+        threshold = self._tail_threshold
+        if threshold is None:
+            threshold = max(1024, n // 4)
+        if tail > threshold:
+            keys, perm, _cov = self._rebuild(positions)
+            return [(keys, perm)]
+        tail_cached = self._tail_views.get(positions)
+        if tail_cached is None or tail_cached[2] != covered or tail_cached[3] != n:
+            tkeys = pack_columns(tuple(
+                self.column(pos)[covered:n] for pos in positions))
+            tperm = np.argsort(tkeys, kind="stable")
+            tail_cached = self._tail_views[positions] = (
+                tkeys[tperm], tperm + covered, covered, n)
+        return [(keys, perm), (tail_cached[0], tail_cached[1])]
 
     def sorted_view(
         self, positions: tuple[int, ...]
     ) -> tuple[np.ndarray, np.ndarray]:
         """The rows' keys over ``positions``, sorted, plus the permutation
-        mapping sorted index -> row number.  Built lazily, cached until the
-        next append."""
+        mapping sorted index -> row number.  Built lazily, cached, and kept
+        full-coverage: a view gone stale by appends is rebuilt here (probes
+        that tolerate a two-part answer go through :meth:`range_lookup`,
+        which tail-probes instead of rebuilding)."""
         cached = self._views.get(positions)
-        if cached is None:
-            keys = pack_columns(tuple(self.column(pos) for pos in positions))
-            perm = np.argsort(keys, kind="stable")
-            cached = self._views[positions] = (keys[perm], perm)
-        return cached
+        if cached is None or cached[2] != self._n:
+            cached = self._rebuild(positions)
+        return cached[0], cached[1]
 
     def range_lookup(
         self, positions: tuple[int, ...], query_keys: np.ndarray
@@ -197,13 +267,51 @@ class IdGraph:
 
         Returns ``(rows, reps)`` where ``rows`` are store row numbers and
         ``reps[i]`` is the query that matched ``rows[i]`` — one
-        searchsorted pair for the whole batch.
+        searchsorted pair per view segment for the whole batch.  Rows
+        appended since the main view was built are answered from the
+        tail segment, so matches for one query may arrive main-part
+        first, tail-part second (not globally key-sorted).
         """
-        keys, perm = self.sorted_view(positions)
-        lo = np.searchsorted(keys, query_keys, side="left")
-        hi = np.searchsorted(keys, query_keys, side="right")
-        flat, reps = expand_ranges(lo, hi)
-        return perm[flat], reps
+        parts_rows: list[np.ndarray] = []
+        parts_reps: list[np.ndarray] = []
+        for keys, perm in self._view_parts(positions):
+            lo = np.searchsorted(keys, query_keys, side="left")
+            hi = np.searchsorted(keys, query_keys, side="right")
+            flat, reps = expand_ranges(lo, hi)
+            if len(flat):
+                parts_rows.append(perm[flat])
+                parts_reps.append(reps)
+        if not parts_rows:
+            return _EMPTY, _EMPTY
+        if len(parts_rows) == 1:
+            return parts_rows[0], parts_reps[0]
+        return np.concatenate(parts_rows), np.concatenate(parts_reps)
+
+    def probe(
+        self, positions: tuple[int, ...], query_cols: tuple[np.ndarray, ...]
+    ) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray], np.ndarray]:
+        """Batch pattern lookup returning the matching rows' *values*.
+
+        ``query_cols[i]`` is the query column for ``positions[i]``; returns
+        ``((s, p, o), reps)`` with one entry per matching row.  This is the
+        store-agnostic probe surface shared with
+        :class:`repro.rdf.runstore.RunStore` — kernels that consume values
+        instead of row numbers run unchanged over either store.
+        """
+        rows, reps = self.range_lookup(positions, pack_columns(query_cols))
+        s, p, o = self.columns()
+        return (s[rows], p[rows], o[rows]), reps
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the store: column buffers (at capacity) plus
+        every cached view — the dense baseline the run store's budget
+        accounting is compared against."""
+        total = self._s.nbytes + self._p.nbytes + self._o.nbytes
+        for keys, perm, _cov in self._views.values():
+            total += keys.nbytes + perm.nbytes
+        for tkeys, tperm, _cov, _n in self._tail_views.values():
+            total += tkeys.nbytes + tperm.nbytes
+        return total
 
     def __repr__(self) -> str:
         return f"<IdGraph with {self._n} rows>"

@@ -172,3 +172,94 @@ class TestEncodedGraph:
                 np.array([0, 1]),
                 np.array([0]),
             )
+
+
+class TestBulkCodecEdgeCases:
+    """encode_many / decode_many corners: empty columns, foreign-stripe
+    ids, and round-trips across graph-version bumps (appends that grow
+    the dictionary and invalidate its cached kind array)."""
+
+    def test_encode_many_empty(self):
+        d = TermDictionary()
+        ids = d.encode_many([])
+        assert ids.dtype == np.int64
+        assert len(ids) == 0
+        assert len(d) == 0
+
+    def test_decode_many_empty(self):
+        d = TermDictionary()
+        d.encode(URI("ex:a"))
+        assert d.decode_many(np.empty(0, dtype=np.int64)) == []
+        # Non-int64 empty input is coerced, not rejected.
+        assert d.decode_many(np.empty(0, dtype=np.int32)) == []
+
+    def test_partition_encode_many_empty(self):
+        base = TermDictionary()
+        pd = PartitionDictionary(base, 0, 2)
+        ids = pd.encode_many([])
+        assert ids.dtype == np.int64 and len(ids) == 0
+        assert pd.decode_many(np.empty(0, dtype=np.int64)) == []
+
+    def test_encode_many_mints_in_iteration_order(self):
+        d = TermDictionary()
+        d.encode(URI("ex:seen"))
+        ids = d.encode_many(
+            [URI("ex:new1"), URI("ex:seen"), URI("ex:new1"), URI("ex:new2")])
+        assert ids.tolist() == [1, 0, 1, 2]
+        assert d.decode_many(ids) == [
+            URI("ex:new1"), URI("ex:seen"), URI("ex:new1"), URI("ex:new2")]
+
+    def test_decode_many_foreign_stripe_ids(self):
+        base = TermDictionary()
+        base.encode_many([URI("ex:base0"), URI("ex:base1")])
+        me = PartitionDictionary(base, 0, 3)
+        peer = PartitionDictionary(base, 2, 3)
+        foreign_id = int(peer.encode(URI("ex:peer-term")))
+        # Before the delta lands, the foreign id is undecodable here.
+        with pytest.raises(KeyError):
+            me.decode_many(np.asarray([foreign_id], dtype=np.int64))
+        me.apply_delta([(foreign_id, URI("ex:peer-term"))])
+        mixed = np.asarray(
+            [0, foreign_id, 1, me.encode(URI("ex:mine"))], dtype=np.int64)
+        assert me.decode_many(mixed) == [
+            URI("ex:base0"), URI("ex:peer-term"), URI("ex:base1"),
+            URI("ex:mine")]
+
+    def test_foreign_stripe_round_trip_reuses_peer_id(self):
+        base = TermDictionary()
+        base.encode(URI("ex:base"))
+        me = PartitionDictionary(base, 0, 2)
+        peer = PartitionDictionary(base, 1, 2)
+        fid = int(peer.encode(URI("ex:shared")))
+        me.apply_delta([(fid, URI("ex:shared"))])
+        # encode_many resolves the registered foreign id — no duplicate
+        # local mint for a term this worker now knows.
+        ids = me.encode_many([URI("ex:shared"), URI("ex:base")])
+        assert ids.tolist() == [fid, 0]
+        assert me.decode_many(ids) == [URI("ex:shared"), URI("ex:base")]
+
+    def test_round_trip_after_graph_version_bumps(self):
+        g = Graph()
+        g.add_spo(URI("ex:a"), URI("ex:p"), URI("ex:b"))
+        eg = EncodedGraph.from_triples(iter(g))
+        d = eg.dictionary
+        first = d.encode_many([URI("ex:a"), URI("ex:b")])
+        # Force the cached kind array into existence, then bump the
+        # graph version twice with appends that mint new terms.
+        assert d.resource_mask(first).all()
+        delta1 = Graph()
+        delta1.add_spo(URI("ex:c"), URI("ex:p"), Literal("v"))
+        assert eg.append(iter(delta1)) == 1
+        delta2 = Graph()
+        delta2.add_spo(URI("ex:d"), URI("ex:q"), URI("ex:a"))
+        assert eg.append(iter(delta2)) == 1
+        # Pre-bump ids survive the growth unchanged.
+        assert np.array_equal(d.encode_many([URI("ex:a"), URI("ex:b")]), first)
+        terms = [URI("ex:a"), URI("ex:c"), Literal("v"), URI("ex:d")]
+        ids = d.encode_many(terms)
+        assert d.decode_many(ids) == terms
+        # Kind masks refresh over the grown id space (Literal("v") is
+        # the only non-resource).
+        assert d.resource_mask(ids).tolist() == [True, True, False, True]
+        # The encoded graph's columns decode to exactly the appended rows.
+        assert set(eg.triples()) == set(g) | set(delta1) | set(delta2)
