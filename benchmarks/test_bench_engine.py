@@ -391,6 +391,82 @@ def test_ablation_run_store_memory_budget(tmp_path):
     path.write_text(json.dumps(results, indent=2) + "\n")
 
 
+def test_ablation_incremental_apply_beats_rebuild(tmp_path):
+    """Acceptance gate for DRed incremental maintenance (DESIGN.md §13).
+
+    LUBM(8), closed in a ``MaterializedKB(engine="columnar")``.  For
+    each removal-batch size: retract the batch via ``apply()``
+    (delete-and-rederive), time it, then re-add it — which must land
+    back on the identical closure (the delete-then-readd differential).
+    The baseline is the full re-closure ``rebuild()`` the README used
+    to prescribe for any retraction.  Gate: apply beats rebuild for
+    small batches.  Records updates/sec per batch size and the measured
+    crossover (the first batch size where overdeletion's cone is no
+    cheaper than re-closing) into the ``incremental`` section of
+    ``BENCH_core.json``.
+    """
+    import random
+
+    from repro.datasets import LUBM
+    from repro.owl.kb import MaterializedKB
+
+    lubm = LUBM(8, seed=0)
+    kb = MaterializedKB(lubm.ontology, engine="columnar")
+    kb.bulk_load(lubm.data)
+    original = len(kb)
+
+    rebuild_best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        kb.rebuild()
+        rebuild_best = min(rebuild_best, time.perf_counter() - t0)
+    assert len(kb) == original
+
+    rng = random.Random(0)
+    pool = list(kb.base_graph)
+    sweep = []
+    for size in (1, 4, 16, 64, 256):
+        batch = rng.sample(pool, size)
+        t0 = time.perf_counter()
+        kb.apply(removes=batch)
+        apply_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        kb.apply(adds=batch)
+        restore_seconds = time.perf_counter() - t0
+        assert len(kb) == original  # delete-then-readd round-trip
+        sweep.append({
+            "batch": size,
+            "apply_seconds": round(apply_seconds, 6),
+            "restore_seconds": round(restore_seconds, 6),
+            "updates_per_sec": round(size / apply_seconds),
+            "speedup_vs_rebuild": round(rebuild_best / apply_seconds, 2),
+        })
+
+    crossover = next(
+        (r["batch"] for r in sweep
+         if r["apply_seconds"] >= rebuild_best),
+        None,
+    )
+    section = {
+        "dataset": "LUBM(8)",
+        "closure_triples": original,
+        "rebuild_seconds": round(rebuild_best, 6),
+        "sweep": sweep,
+        #: None means apply won at every measured size.
+        "crossover_batch": crossover,
+    }
+    path = _core_results_path(tmp_path)
+    results = json.loads(path.read_text()) if path.exists() else {}
+    results["incremental"] = section
+    path.write_text(json.dumps(results, indent=2) + "\n")
+
+    # The gate: maintaining the closure under a small retraction batch
+    # must beat re-closing from scratch.
+    for r in sweep:
+        if r["batch"] <= 16:
+            assert r["apply_seconds"] < rebuild_best, (r, rebuild_best)
+
+
 def test_bench_forward_materialization(benchmark, lubm_tiny):
     reasoner = HorstReasoner(lubm_tiny.ontology)
     result = benchmark.pedantic(

@@ -120,6 +120,7 @@ class LintConfig:
         "repro/rdf/idstore",
         "repro/rdf/runstore",
         "repro/datalog/columnar",
+        "repro/datalog/incremental",
     )
     #: Scope for CX105: unseeded randomness matters where determinism is a
     #: correctness property (engines, partitioning, the parallel runtime).

@@ -161,6 +161,7 @@ ASYNC_PROTOCOL = ProtocolSpec(
                 {
                     "run_async_inprocess._emit",
                     "run_async_inprocess._revive",
+                    "run_apply_inprocess._emit",
                     "run_multiprocess_async.relay",
                     "run_multiprocess_async.recover",
                 }
@@ -169,7 +170,13 @@ ASYNC_PROTOCOL = ProtocolSpec(
         LedgerRule(
             _ASYNC,
             "record_delivery",
-            frozenset({"run_async_inprocess", "run_async_inprocess._revive"}),
+            frozenset(
+                {
+                    "run_async_inprocess",
+                    "run_async_inprocess._revive",
+                    "run_apply_inprocess._drain",
+                }
+            ),
         ),
         LedgerRule(
             _ASYNC, "record_ack", frozenset({"run_multiprocess_async"})
@@ -188,6 +195,7 @@ ASYNC_PROTOCOL = ProtocolSpec(
                 {
                     "run_async_inprocess",
                     "run_async_inprocess._revive",
+                    "run_apply_inprocess",
                     "run_multiprocess_async",
                 }
             ),

@@ -474,6 +474,18 @@ class ColumnarEngine:
     def kernel_kinds(self) -> tuple[str, ...]:
         return tuple(k.kind.value for k in self._kernels)
 
+    @property
+    def kernels(self) -> list[IdKernel]:
+        """The per-rule id kernels, in rule order — the evaluation surface
+        :mod:`repro.datalog.incremental` drives for DRed phases."""
+        return self._kernels
+
+    @property
+    def dispatch(self) -> IdDispatchIndex:
+        """The predicate-id dispatch index (shared with DRed phases so the
+        dispatch accounting matches the forward fixpoint's)."""
+        return self._dispatch
+
     def run(
         self, graph: IdStore, delta: Columns | None = None
     ) -> ColumnarFixpoint:

@@ -92,6 +92,21 @@ class FixpointResult:
     stats: EngineStats = field(default_factory=EngineStats)
 
 
+@dataclass
+class ApplyResult:
+    """Outcome of one incremental maintenance step (DRed).
+
+    ``graph`` references the (mutated) input closure; ``added`` holds the
+    triples newly present, ``removed`` the triples no longer present
+    (retracted rows that neither stayed asserted nor rederived).
+    """
+
+    graph: Graph
+    added: Graph
+    removed: Graph
+    stats: EngineStats = field(default_factory=EngineStats)
+
+
 def match_atom(
     graph: Graph, atom: Atom, bindings: Bindings, stats: EngineStats | None = None
 ) -> Iterator[Bindings]:
@@ -354,7 +369,107 @@ class SemiNaiveEngine:
 
         return FixpointResult(graph=graph, inferred=inferred, stats=stats)
 
+    def apply(
+        self,
+        graph: Graph,
+        adds: Iterable[Triple] = (),
+        removes: Iterable[Triple] = (),
+        asserted: Graph | None = None,
+    ) -> ApplyResult:
+        """Incrementally maintain a materialized closure under additions
+        and retractions (delete-and-rederive), mutating ``graph`` in
+        place.
+
+        ``graph`` must be a closure previously computed by :meth:`run`
+        with this engine's rules; ``asserted`` is the *post-retraction*
+        base graph (explicit facts only) — retracted facts must already
+        be absent from it, and rows of it that get overdeleted as
+        consequences of a retraction are restored (asserted facts
+        survive unless retracted themselves).  See
+        :mod:`repro.datalog.incremental` for the phase structure.
+        """
+        # Imported lazily: incremental depends on this module's types.
+        from repro.datalog import incremental
+
+        if asserted is None:
+            asserted = Graph()
+        if self._columnar is None:
+            outcome = incremental.dred_term(
+                self, graph, adds, removes, asserted)
+            return ApplyResult(
+                graph=graph, added=outcome.added, removed=outcome.removed,
+                stats=outcome.stats)
+        return self._apply_columnar(graph, adds, removes, asserted)
+
     # -- columnar execution --------------------------------------------------
+
+    def _encode_triples(self, triples: Iterable[Triple]):
+        """Id columns for a batch of triples (minting fresh ids as
+        needed — unknown terms simply never match any stored row)."""
+        assert self._columnar is not None
+        enc = self._columnar.dictionary.encode
+        s_list: list[int] = []
+        p_list: list[int] = []
+        o_list: list[int] = []
+        for t in triples:
+            s_list.append(enc(t.s))
+            p_list.append(enc(t.p))
+            o_list.append(enc(t.o))
+        return (
+            np.asarray(s_list, dtype=np.int64),
+            np.asarray(p_list, dtype=np.int64),
+            np.asarray(o_list, dtype=np.int64),
+        )
+
+    def _apply_columnar(
+        self,
+        graph: Graph,
+        adds: Iterable[Triple],
+        removes: Iterable[Triple],
+        asserted: Graph,
+    ) -> ApplyResult:
+        """The ``engine="columnar"`` apply path: run id-space DRed on the
+        mirror, then replay the net row changes onto the term graph."""
+        from repro.datalog import incremental
+        from repro.rdf.idstore import IdGraph
+
+        assert self._columnar is not None
+        columnar = self._columnar
+        dictionary = columnar.dictionary
+        mirror = self._sync_mirror(graph)
+        add_list = list(adds)
+        adds_rows = self._encode_triples(add_list)
+        removes_rows = self._encode_triples(removes)
+        asserted_rows = IdGraph(capacity=len(asserted))
+        asserted_rows.add_rows(*self._encode_triples(asserted))
+
+        outcome = incremental.dred_id(
+            columnar, mirror, adds_rows, removes_rows, asserted_rows)
+
+        removed = Graph()
+        rs, rp, ro = outcome.removed
+        for s, p, o in zip(
+            dictionary.decode_many(rs),
+            dictionary.decode_many(rp),
+            dictionary.decode_many(ro),
+        ):
+            t = Triple(s, p, o)
+            graph.discard(t)
+            removed.add(t)
+        added = Graph()
+        hs, hp, ho = outcome.added
+        for s, p, o in zip(
+            dictionary.decode_many(hs),
+            dictionary.decode_many(hp),
+            dictionary.decode_many(ho),
+        ):
+            t = Triple(s, p, o)
+            graph.add(t)
+            added.add(t)
+        # The mutations above are our own mirror replay: re-stamp.
+        self._mirror_state = (graph, graph.version)
+        return ApplyResult(
+            graph=graph, added=added, removed=removed, stats=outcome.stats)
 
     def _make_store(self, capacity: int):
         """A fresh mirror store of the configured kind."""

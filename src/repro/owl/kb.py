@@ -15,12 +15,15 @@ frequency of data being added is much smaller than that of queries"
   with no reasoning on the read path;
 * **parallel load** — the initial bulk load can be delegated to the
   paper's parallel reasoner, which is the entire point of the paper: cut
-  the one heavy materialization down with a cluster.
-
-Deletions are intentionally unsupported: OWL-Horst materialization is not
-incrementally retractable without truth maintenance (DRed et al.), which
-the paper does not touch; :meth:`MaterializedKB.rebuild` re-closes from the
-retained base triples instead.
+  the one heavy materialization down with a cluster;
+* **incremental updates** — :meth:`MaterializedKB.apply` maintains the
+  closure under mixed additions *and retractions* via delete-and-
+  rederive (:mod:`repro.datalog.incremental`): retracting a base fact
+  costs work proportional to its consequence cone, not the KB.
+  :meth:`MaterializedKB.rebuild` (full re-closure from the retained
+  base) remains as the differential oracle and the escape hatch for
+  bulk retractions where DRed's overdeletion would touch most of the
+  closure anyway.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Literal
 
 from repro.datalog.ast import Atom, Bindings
-from repro.datalog.engine import EngineStats, SemiNaiveEngine
+from repro.datalog.engine import ApplyResult, EngineStats, SemiNaiveEngine
 from repro.owl.compiler import CompiledRuleSet, compile_ontology
 from repro.rdf.graph import Graph
 from repro.rdf.query import BGPQuery
@@ -128,15 +131,50 @@ class MaterializedKB:
         for t in result.graph:
             if t not in reasoner.compiled.schema:
                 self._closed.add(t)
-        self._last_load_stats = EngineStats()
+        # The cluster's engine work counts toward this KB's totals just
+        # like a serial load's would — merged, not discarded.
+        self._stats.merge(result.engine_stats)
+        self._last_load_stats = result.engine_stats
+
+    def apply(
+        self,
+        adds: Iterable[Triple] = (),
+        removes: Iterable[Triple] = (),
+    ) -> ApplyResult:
+        """Incrementally maintain the closure under additions and
+        retractions (delete-and-rederive; removals apply first).
+
+        Retraction targets *base* facts: a triple in ``removes`` that
+        was never asserted is a no-op (if it is derivable it stays
+        derivable), and a retracted base triple that is still derivable
+        from the remaining base survives in the closure.  Returns the
+        engine's :class:`~repro.datalog.engine.ApplyResult` (net added /
+        removed closure triples plus work stats, also merged into
+        :attr:`total_stats` and exposed as :attr:`last_load_stats`).
+        """
+        retracted = [t for t in removes if self._base.discard(t)]
+        fresh = [t for t in adds if self._base.add(t)]
+        if not retracted and not fresh:
+            self._last_load_stats = EngineStats()
+            return ApplyResult(graph=self._closed, added=Graph(),
+                               removed=Graph())
+        result = self._engine.apply(
+            self._closed, adds=fresh, removes=retracted,
+            asserted=self._base)
+        self._stats.merge(result.stats)
+        self._last_load_stats = result.stats
+        return result
 
     def rebuild(self) -> None:
-        """Re-close from the base triples (the deletion story: drop from
-        ``base_graph`` yourself, then rebuild)."""
+        """Re-close from scratch off the retained base triples — the
+        differential oracle for :meth:`apply` and the better tool when a
+        retraction batch is large enough that overdeletion would visit
+        most of the closure."""
         self._closed = self._base.copy()
         self._stats = EngineStats()
         result = self._engine.run(self._closed)
         self._stats.merge(result.stats)
+        self._last_load_stats = result.stats
 
     # -- reading -----------------------------------------------------------------
 
@@ -165,7 +203,8 @@ class MaterializedKB:
 
     @property
     def last_load_stats(self) -> EngineStats:
-        """Engine stats of the most recent :meth:`add`."""
+        """Engine stats of the most recent load operation (:meth:`add`,
+        :meth:`apply`, :meth:`bulk_load`, or :meth:`rebuild`)."""
         return getattr(self, "_last_load_stats", EngineStats())
 
     @property

@@ -61,10 +61,12 @@ from repro.parallel.faults import FaultPlan
 from repro.parallel.messages import (
     Adopt,
     Deliver,
+    EncodedBatch,
     Finish,
     Heartbeat,
     OutputMsg,
     Produced,
+    RemovalBatch,
     Stop,
 )
 from repro.parallel.routing import DataPartitionRouter, Router, RulePartitionRouter
@@ -370,6 +372,155 @@ def run_async_inprocess(
         result = workers[dest].step([batch])
         det.record_delivery(dest)
         _emit(result.outgoing)
+
+    union = Graph()
+    for w in workers:
+        union.update(iter(w.output_graph()))
+    return AsyncRunResult(
+        graph=union,
+        stats=stats,
+        forwarded=list(det.forwarded),
+        consumed=list(det.consumed),
+    )
+
+
+# -- incremental (DRed) executor ----------------------------------------------
+
+
+def run_apply_inprocess(
+    partitions: Sequence[Graph],
+    rules_per_node: Sequence[Sequence[Rule]],
+    router_kind: str,
+    adds: Sequence[Triple] = (),
+    removes: Sequence[Triple] = (),
+    owner_table: dict | None = None,
+    rule_sets: Sequence[Sequence[Rule]] | None = None,
+    delivery: str = "fifo",
+    seed: int = 0,
+    max_messages: int = 1_000_000,
+    store: str | None = None,
+    memory_budget_bytes: int | None = None,
+) -> AsyncRunResult:
+    """Distributed delete-and-rederive over the id wire protocol.
+
+    Materializes the partitions' closure, then maintains it under
+    ``(adds, removes)`` with the DRed phases run cluster-wide:
+
+    1. the master broadcasts the user retractions to *every* node as
+       :class:`~repro.parallel.messages.RemovalBatch` rows
+       (``retract_base=True``) — a row's replicas may live anywhere;
+    2. each node runs its local overdeletion against its unmutated
+       store and rebroadcasts the discovered cascade; the counting
+       ledger detects quiescence exactly as for forward batches;
+    3. every node finalizes — physical deletion, sent-dedup eviction,
+       local rederivation and re-closure — and the restored rows drain
+       through normal forward routing;
+    4. the additions are broadcast and drained as an ordinary
+       incremental load.
+
+    Workers are id-native (``engine="columnar"``) throughout, reusing
+    the per-node dictionary stripes: removal rows and their delta
+    dictionaries travel the same wire as derivations.  Additions are
+    broadcast rather than owner-routed — with rule partitioning every
+    node holds the full data set, and with data partitioning the extra
+    replicas only cost memory, never correctness (receiver dedup).
+
+    Returns the final maintained KB (union of node outputs), equal to
+    re-closing ``(base ∖ removes) ∪ adds`` from scratch.
+    """
+    if delivery not in ("fifo", "lifo", "shuffle"):
+        raise ValueError(f"unknown delivery order {delivery!r}")
+    k = len(partitions)
+    if len(rules_per_node) != k:
+        raise ValueError("rules_per_node must match partitions")
+    adds = list(adds)
+    removes = list(removes)
+    base = build_base_dictionary(
+        partitions,
+        extra=[Graph(adds), Graph(removes)],
+        rules=_all_rules(rules_per_node, rule_sets),
+    )
+    router = _make_router(router_kind, owner_table, k, rule_sets)
+    workers = [
+        PartitionWorker(
+            node_id=i,
+            base=partitions[i],
+            rules=rules_per_node[i],
+            router=router,
+            dictionary=PartitionDictionary(base, i, k),
+            engine="columnar",
+            store=store,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        for i in range(k)
+    ]
+    stats = AsyncRunStats(k=k)
+    det = CountingTermination(k)
+    rng = None
+    if delivery == "shuffle":
+        import random
+
+        rng = random.Random(seed)
+    pool = ChannelPool(delivery, rng)
+    delivered = 0
+
+    def _emit(batches) -> None:
+        for b in batches:
+            det.record_forward(b.dest)
+            stats.record_batch(b)
+            pool.emit(b)
+
+    def _drain() -> None:
+        nonlocal delivered
+        while not det.quiescent():
+            if delivered >= max_messages:
+                raise RuntimeError(
+                    f"no termination after {max_messages} messages")
+            batch = pool.pop_next()
+            if batch is None:  # pragma: no cover - invariant check
+                raise RuntimeError("pool stalled but counters disagree")
+            delivered += 1
+            result = workers[batch.dest].step([batch])
+            det.record_delivery(batch.dest)
+            _emit(result.outgoing)
+
+    def _encode(triples: Sequence[Triple]):
+        import numpy as np
+
+        enc = base.encode
+        return (
+            np.asarray([enc(t.s) for t in triples], dtype=np.int64),
+            np.asarray([enc(t.p) for t in triples], dtype=np.int64),
+            np.asarray([enc(t.o) for t in triples], dtype=np.int64),
+        )
+
+    # Initial closure.
+    for w in workers:
+        _emit(w.bootstrap().outgoing)
+        det.mark_bootstrapped(w.node_id)
+    _drain()
+
+    # Overdeletion: broadcast the retractions, drain to quiescence,
+    # then finalize every node and drain the restoration traffic.
+    if removes:
+        cols = _encode(removes)
+        _emit([
+            RemovalBatch.from_columns(-1, dest, 0, cols, retract_base=True)
+            for dest in range(k)
+        ])
+        _drain()
+        for w in workers:
+            _emit(w.finalize_removals().outgoing)
+        _drain()
+
+    # Additions: an ordinary incremental load.
+    if adds:
+        cols = _encode(adds)
+        _emit([
+            EncodedBatch(-1, dest, 0, cols[0], cols[1], cols[2])
+            for dest in range(k)
+        ])
+        _drain()
 
     union = Graph()
     for w in workers:

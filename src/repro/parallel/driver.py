@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 from repro.datalog.analysis import check_data_partitionable, predicate_counts
+from repro.datalog.engine import EngineStats
 from repro.owl.compiler import CompiledRuleSet, compile_ontology
 from repro.owl.reasoner import split_schema
 from repro.parallel.comm import CommBackend, InMemoryComm
@@ -57,6 +58,12 @@ class ParallelRunResult:
     node_outputs: list[Graph] = field(default_factory=list)
     data_partitioning: DataPartitioningResult | None = None
     rule_partitioning: RulePartitioningResult | None = None
+    #: Cluster-wide engine counters: the sum of every worker's per-round
+    #: fixpoint stats, so a parallel load reports the same six-field
+    #: accounting a serial :class:`~repro.datalog.engine.SemiNaiveEngine`
+    #: run would (the backward bootstrap contributes only to the
+    #: per-round ``work`` scalar in :attr:`stats`, not here).
+    engine_stats: EngineStats = field(default_factory=EngineStats)
 
     @property
     def k(self) -> int:
@@ -269,10 +276,12 @@ class ParallelReasoner:
         agg_watch = Stopwatch()
         union = Graph()
         node_outputs = []
+        engine_stats = EngineStats()
         for w in workers:
             out = w.output_graph()
             node_outputs.append(out)
             union.update(iter(out))
+            engine_stats.merge(w.engine_stats)
         union.update(iter(schema))
         union.update(iter(self.compiled.schema))
         stats.aggregation_time = agg_watch.elapsed()
@@ -284,6 +293,7 @@ class ParallelReasoner:
             node_outputs=node_outputs,
             data_partitioning=data_result,
             rule_partitioning=rule_result,
+            engine_stats=engine_stats,
         )
 
     # -- the asynchronous run --------------------------------------------------
@@ -391,6 +401,45 @@ class ParallelReasoner:
                 engine=self.engine, store=self.store,
                 memory_budget_bytes=self.memory_budget_bytes,
             )
+        result.graph.update(iter(schema))
+        result.graph.update(iter(self.compiled.schema))
+        return result
+
+    def apply_async(
+        self,
+        graph: Graph,
+        adds=(),
+        removes=(),
+        delivery: str = "fifo",
+    ):
+        """Materialize ``graph``, then maintain the closure under
+        ``(adds, removes)`` with cluster-wide delete-and-rederive
+        (:func:`~repro.parallel.async_backend.run_apply_inprocess`):
+        the master broadcasts the retractions as id-encoded
+        :class:`~repro.parallel.messages.RemovalBatch` rows, nodes
+        overdelete and rebroadcast cascades to quiescence, then delete,
+        rederive and re-close.  Workers run id-native regardless of this
+        reasoner's ``engine`` setting (distributed DRed is an id-space
+        protocol).  Retraction targets *instance* data — schema triples
+        are compiled into the rules and replicated, not maintained.
+
+        Returns an :class:`~repro.parallel.async_backend.AsyncRunResult`
+        whose graph equals re-closing ``(base ∖ removes) ∪ adds``.
+        """
+        from repro.parallel.async_backend import run_apply_inprocess
+
+        schema, instance = split_schema(graph)
+        partitions, rules_per_node, router_kind, owner_table, rule_sets = (
+            self._partition_async(instance)
+        )
+        result = run_apply_inprocess(
+            partitions, rules_per_node, router_kind,
+            adds=list(adds), removes=list(removes),
+            owner_table=owner_table, rule_sets=rule_sets,
+            delivery=delivery, seed=self.seed,
+            store=self.store,
+            memory_budget_bytes=self.memory_budget_bytes,
+        )
         result.graph.update(iter(schema))
         result.graph.update(iter(self.compiled.schema))
         return result

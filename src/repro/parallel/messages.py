@@ -198,6 +198,62 @@ class EncodedBatch:
         )
 
 
+class RemovalBatch(EncodedBatch):
+    """An id-encoded batch of rows to *delete* — the wire payload of
+    distributed DRed's overdeletion phase.
+
+    Same columns/delta layout and payload accounting as its parent (the
+    delta-dictionary matters here too: a removal may reference a term
+    the receiver has never decoded, e.g. when removals are broadcast to
+    nodes that never held the row).  Removals are a *data* payload, not
+    a control message, so this type is deliberately absent from the
+    ``CONTROL_MESSAGES`` registries.  Receivers must dispatch on it
+    *before* :class:`EncodedBatch` — ``isinstance`` matches the parent
+    too.
+
+    ``retract_base`` distinguishes a user retraction (the initial
+    master broadcast: receivers also drop matching rows from their
+    asserted base) from a propagated overdeletion cascade (receivers
+    treat the rows as derived-only; the asserted base is untouched).
+    """
+
+    __slots__ = ("retract_base",)
+
+    def __init__(
+        self,
+        sender: int,
+        dest: int,
+        round_no: int,
+        s_ids: np.ndarray,
+        p_ids: np.ndarray,
+        o_ids: np.ndarray,
+        delta: tuple[tuple[int, Term], ...] = (),
+        retract_base: bool = False,
+    ) -> None:
+        super().__init__(sender, dest, round_no, s_ids, p_ids, o_ids, delta)
+        self.retract_base = retract_base
+
+    @classmethod
+    def from_columns(
+        cls,
+        sender: int,
+        dest: int,
+        round_no: int,
+        columns: tuple[np.ndarray, np.ndarray, np.ndarray],
+        delta: Sequence[tuple[int, Term]] = (),
+        retract_base: bool = False,
+    ) -> "RemovalBatch":
+        return cls(sender, dest, round_no, columns[0], columns[1],
+                   columns[2], tuple(delta), retract_base)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemovalBatch {self.sender}->{self.dest} "
+            f"round={self.round_no} rows={len(self)} "
+            f"retract_base={self.retract_base}>"
+        )
+
+
 # -- control messages (supervised multiprocess protocol) ----------------------
 
 

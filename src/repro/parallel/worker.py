@@ -33,9 +33,9 @@ import numpy as np
 from repro.datalog.ast import Rule
 from repro.datalog.backward import materialize_backward
 from repro.datalog.columnar import ColumnarEngine, Columns
-from repro.datalog.engine import SemiNaiveEngine
+from repro.datalog.engine import EngineStats, SemiNaiveEngine
 from repro.parallel.faults import maybe_crash
-from repro.parallel.messages import EncodedBatch, Message, TupleBatch
+from repro.parallel.messages import EncodedBatch, Message, RemovalBatch, TupleBatch
 from repro.parallel.routing import Router
 from repro.rdf.dictionary import PartitionDictionary
 from repro.rdf.graph import Graph
@@ -160,11 +160,18 @@ class PartitionWorker:
                 s_list.append(enc(t.s))
                 p_list.append(enc(t.p))
                 o_list.append(enc(t.o))
-            self._idgraph.add_rows(
-                np.asarray(s_list, dtype=np.int64),
-                np.asarray(p_list, dtype=np.int64),
-                np.asarray(o_list, dtype=np.int64),
-            )
+            s_arr = np.asarray(s_list, dtype=np.int64)
+            p_arr = np.asarray(p_list, dtype=np.int64)
+            o_arr = np.asarray(o_list, dtype=np.int64)
+            self._idgraph.add_rows(s_arr, p_arr, o_arr)
+            #: The asserted rows (base partition + schema) in id space —
+            #: DRed's rederivation keeps asserted-but-also-derivable rows
+            #: alive from this set; user retractions remove from it.
+            self._base_rows: IdGraph | None = IdGraph(capacity=len(s_arr))
+            self._base_rows.add_rows(s_arr, p_arr, o_arr)
+            #: Rows marked by the overdeletion phase but not yet
+            #: physically deleted (see :meth:`finalize_removals`).
+            self._overdeleted: IdGraph | None = IdGraph()
         else:
             #: Every partition runs the compiled kernels by default — the
             #: per-partition fixpoint is the hottest path in Algorithms 1-3.
@@ -175,6 +182,13 @@ class PartitionWorker:
                     memory_budget_bytes if engine == "columnar" else None))
             self._columnar = None
             self._idgraph = None
+            self._base_rows = None
+            self._overdeleted = None
+        #: Cumulative six-field engine counters across all rounds — what
+        #: the driver merges into a KB's totals (the backward bootstrap
+        #: reports only its scalar ``work``; its SLD counters are not
+        #: semi-naive-comparable and stay out of this).
+        self.engine_stats = EngineStats()
         self.router = router
         self.strategy: Strategy = strategy
         #: Re-route tuples received from peers (dedup-guarded).  Off for
@@ -209,6 +223,7 @@ class PartitionWorker:
         if self.id_native:
             assert self._columnar is not None and self._idgraph is not None
             fixpoint = self._columnar.run(self._idgraph)
+            self.engine_stats.merge(fixpoint.stats)
             reasoning_time = watch.elapsed()
             return self._finish_round_rows(
                 fixpoint.inferred, received=0,
@@ -221,6 +236,7 @@ class PartitionWorker:
         else:
             assert self.engine is not None
             result = self.engine.run(self.graph)
+            self.engine_stats.merge(result.stats)
             fresh = list(result.inferred)
             work = result.stats.work
         reasoning_time = watch.elapsed()
@@ -236,6 +252,11 @@ class PartitionWorker:
             return self._step_rows(incoming)
         received: list[Triple] = []
         for batch in incoming:
+            if isinstance(batch, RemovalBatch):
+                raise RuntimeError(
+                    "removal batches require an id-native columnar worker "
+                    "(engine='columnar' with the id wire protocol)"
+                )
             if isinstance(batch, EncodedBatch):
                 if self.dictionary is None:
                     raise RuntimeError(
@@ -251,6 +272,7 @@ class PartitionWorker:
         watch = Stopwatch()
         if received:
             result = self.engine.run(self.graph, delta=received)
+            self.engine_stats.merge(result.stats)
             fresh = list(result.inferred)
             work = result.stats.work
         else:
@@ -364,8 +386,12 @@ class PartitionWorker:
         columnar = self._columnar
         assert d is not None and idg is not None and columnar is not None
         parts: list[Columns] = []
+        removals: list[RemovalBatch] = []
         received = 0
         for batch in incoming:
+            if isinstance(batch, RemovalBatch):
+                removals.append(batch)
+                continue
             if isinstance(batch, EncodedBatch):
                 if batch.delta:
                     d.apply_delta(batch.delta)
@@ -385,34 +411,45 @@ class PartitionWorker:
                 parts.append((s[keep], p[keep], o[keep]))
                 received += fresh_count
         watch = Stopwatch()
+        extra: list[Message] = []
+        work = 0
+        if removals:
+            extra, taken, od_work = self._ingest_removals(removals)
+            received += taken
+            work += od_work
         if parts:
             delta = _concat_columns(parts)
             fixpoint = columnar.run(idg, delta)
+            self.engine_stats.merge(fixpoint.stats)
             fresh = fixpoint.inferred
-            work = fixpoint.stats.work
+            work += fixpoint.stats.work
         else:
             delta = None
             empty = np.empty(0, dtype=np.int64)
             fresh = (empty, empty, empty)
-            work = 0
         reasoning_time = watch.elapsed()
         routable = fresh
         if self.forward_received and delta is not None:
             routable = _concat_columns([fresh, delta])
         return self._finish_round_rows(fresh, received=received,
                                        reasoning_time=reasoning_time,
-                                       work=work, routable=routable)
+                                       work=work, routable=routable,
+                                       extra_outgoing=extra)
 
     def _finish_round_rows(
         self, fresh: Columns, received: int,
         reasoning_time: float, work: int,
         routable: Columns | None = None,
+        extra_outgoing: list[Message] | None = None,
     ) -> RoundResult:
         rows = routable if routable is not None else fresh
+        outgoing = self._route_rows(rows)
+        if extra_outgoing:
+            outgoing = extra_outgoing + outgoing
         result = RoundResult(
             node_id=self.node_id,
             round_no=self.round_no,
-            outgoing=self._route_rows(rows),
+            outgoing=outgoing,
             derived=len(fresh[0]),
             received=received,
             reasoning_time=reasoning_time,
@@ -466,6 +503,136 @@ class PartitionWorker:
             )
             for dest, dest_rows in sorted(rows_by_dest.items())
         ]
+
+    # -- distributed DRed (id-native only) --------------------------------------
+
+    def _ingest_removals(
+        self, batches: Sequence[RemovalBatch]
+    ) -> tuple[list[Message], int, int]:
+        """DRed phase 1, this node's share: canonicalize the received
+        removal rows, drop user-retracted rows from the asserted base,
+        run the overdeletion fixpoint against the **unmutated** local
+        store (nothing is physically deleted until
+        :meth:`finalize_removals`), and broadcast the locally discovered
+        cascade to every peer.  Overdeletions travel by *broadcast*, not
+        ownership: a derived row's replicas may live on any node that
+        ever derived or received it, and all of them must mark it.
+        Receiver-side dedup (rows already in the local overdeleted set
+        are dropped) makes the echo converge.
+
+        Returns ``(outgoing broadcasts, rows newly marked from the
+        batches, overdeletion work)``.
+        """
+        d = self.dictionary
+        idg = self._idgraph
+        columnar = self._columnar
+        over = self._overdeleted
+        if not self.id_native:
+            raise RuntimeError(
+                "removal batches require an id-native columnar worker "
+                "(engine='columnar' with the id wire protocol)"
+            )
+        assert (d is not None and idg is not None and columnar is not None
+                and over is not None and self._base_rows is not None)
+        from repro.datalog import incremental
+
+        parts: list[Columns] = []
+        taken = 0
+        for batch in batches:
+            if batch.delta:
+                d.apply_delta(batch.delta)
+            s = d.canonical_ids(batch.s_ids)
+            p = d.canonical_ids(batch.p_ids)
+            o = d.canonical_ids(batch.o_ids)
+            if len(s) == 0:
+                continue
+            if batch.retract_base:
+                self._base_rows.delete_rows(s, p, o)
+            fresh = idg.contains_rows(s, p, o) & ~over.contains_rows(s, p, o)
+            taken += int(fresh.sum())
+            parts.append((s, p, o))
+        if not parts:
+            return [], 0, 0
+        seed = _concat_columns(parts)
+        stats = EngineStats()
+        cascade = incremental.overdelete_id(columnar, idg, seed, over, stats)
+        self.engine_stats.merge(stats)
+        return self._broadcast_removals(cascade), taken, stats.work
+
+    def _broadcast_removals(self, rows: Columns) -> list[Message]:
+        """One :class:`RemovalBatch` per peer (``retract_base=False`` —
+        a propagated cascade never touches anyone's asserted base).  The
+        delta-dictionary bookkeeping mirrors :meth:`_route_rows`: a peer
+        may be told to delete a row whose terms it has never decoded."""
+        if len(rows[0]) == 0:
+            return []
+        d = self.dictionary
+        assert d is not None
+        base_size = d.base_size
+        k = getattr(self.router, "k", None)
+        assert k is not None, "removal broadcast needs a router with .k"
+        row_list = list(zip(rows[0].tolist(), rows[1].tolist(),
+                            rows[2].tolist()))
+        out: list[Message] = []
+        for dest in range(k):
+            if dest == self.node_id:
+                continue
+            delta: list[tuple[int, Term]] = []
+            known = self._known_by_dest.setdefault(dest, set())
+            for row in row_list:
+                for tid in row:
+                    if tid >= base_size and tid not in known:
+                        known.add(tid)
+                        delta.append((tid, d.decode(tid)))
+            out.append(RemovalBatch.from_columns(
+                self.node_id, dest, self.round_no, rows, delta))
+        return out
+
+    def finalize_removals(self) -> RoundResult:
+        """DRed phases 2-4, this node's share — called by the master
+        once the cluster-wide overdeletion has reached quiescence (the
+        counting ledger drained with no removal batch in flight):
+
+        * physically delete the overdeleted rows from the local store;
+        * evict them from the sent-dedup — every peer deleted its copy
+          too, so a row restored here must be allowed to re-ship;
+        * rederive survivors (still-asserted rows, one-step derivable
+          rows) from the local remnant and re-close over them;
+        * route the restored rows exactly like fresh derivations — the
+          subsequent normal drain restores the cross-node closure the
+          same way the original fixpoint built it.
+        """
+        idg = self._idgraph
+        columnar = self._columnar
+        over = self._overdeleted
+        if not self.id_native:
+            raise RuntimeError(
+                "finalize_removals requires an id-native columnar worker")
+        assert (idg is not None and columnar is not None and over is not None
+                and self._base_rows is not None)
+        from repro.datalog import incremental
+
+        watch = Stopwatch()
+        empty = np.empty(0, dtype=np.int64)
+        fresh: Columns = (empty, empty, empty)
+        stats = EngineStats()
+        if len(over):
+            o_s, o_p, o_o = over.columns()
+            sent = self._sent
+            for row in zip(o_s.tolist(), o_p.tolist(), o_o.tolist()):
+                sent.discard(row)
+            seed = incremental.rederive_id(
+                columnar, idg, over, self._base_rows, stats)
+            if len(seed):
+                fixpoint = columnar.run(idg, delta=seed.columns())
+                stats.merge(fixpoint.stats)
+                fresh = _concat_columns([seed.columns(), fixpoint.inferred])
+            self._overdeleted = IdGraph()
+            self.engine_stats.merge(stats)
+        reasoning_time = watch.elapsed()
+        return self._finish_round_rows(
+            fresh, received=0, reasoning_time=reasoning_time,
+            work=stats.work)
 
     # -- results ---------------------------------------------------------------
 

@@ -101,7 +101,15 @@ class Graph:
         return added
 
     def discard(self, triple: Triple) -> bool:
-        """Remove; returns True iff the triple was present."""
+        """Remove; returns True iff the triple was present.
+
+        All three SPO/POS/OSP indexes observe the removal and the
+        version counter bumps, so mirror structures keyed on
+        :attr:`version` (the columnar engine's id-encoded shadow) can
+        never resume from a stale copy after a deletion.
+        """
+        if not isinstance(triple, Triple):
+            raise TypeError(f"expected Triple, got {type(triple).__name__}")
         s, p, o = triple.s, triple.p, triple.o
         po = self._spo.get(s)
         if po is None:

@@ -186,6 +186,35 @@ class IdGraph:
             self._n = n + len(s)
         return s, p, o
 
+    def delete_rows(self, s: np.ndarray, p: np.ndarray, o: np.ndarray) -> int:
+        """Remove rows from the store; rows not present are ignored.
+
+        Returns the number of rows actually removed.  Deletion is a
+        validity-mask compaction: the matching rows are located through the
+        canonical (s, p, o) view, a keep mask over the live rows is built,
+        and the column buffers are rewritten densely in one pass.  Every
+        cached sorted view is dropped (row numbers shift), so the next
+        probe after a deletion pays one re-sort — the DRed maintenance
+        loop deletes once per update batch, not per row, so this amortizes
+        the same way the append path does.
+        """
+        if len(s) == 0 or self._n == 0:
+            return 0
+        keys = np.unique(pack_columns((s, p, o)))
+        rows, _reps = self.range_lookup((0, 1, 2), keys)
+        if len(rows) == 0:
+            return 0
+        n = self._n
+        keep = np.ones(n, dtype=bool)
+        keep[rows] = False
+        for name in ("_s", "_p", "_o"):
+            buf = getattr(self, name)
+            buf[: n - len(rows)] = buf[:n][keep]
+        self._n = n - len(rows)
+        self._views.clear()
+        self._tail_views.clear()
+        return len(rows)
+
     # -- queries ----------------------------------------------------------
 
     def contains_rows(

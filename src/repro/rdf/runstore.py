@@ -51,7 +51,26 @@ decoded a few blocks at a time, rows up to the minimum of the
 cursors' buffer-last keys are emitted per round, and the block encoder
 re-compresses incrementally — peak transient memory is bounded by
 cursor buffers, not run size.  Rows are globally unique across runs
-(insert-time dedup), so merges concatenate without re-deduplicating.
+(insert-time dedup), so merges concatenate without re-deduplicating —
+except for *tombstoned* rows (see below), which the canonical merge
+drops and whose tombstones it consumes.
+
+Deletions
+---------
+
+Runs are immutable, so :meth:`RunStore.delete_rows` is two-sided:
+rows still in the mutable tail are deleted physically
+(:meth:`IdGraph.delete_rows`); rows frozen into a sealed run are
+recorded in a small dense *tombstone* set instead.  Every read surface
+(``probe`` / ``contains_rows`` / ``columns`` / ``__len__``) subtracts
+tombstoned rows, so a tombstoned row is indistinguishable from an
+absent one; re-adding a tombstoned row consumes its tombstone rather
+than writing a duplicate (the run copy becomes live again).  The
+tombstones are *annihilated* at compaction: the canonical k-way merge
+filters tombstoned rows out of the merged run and deletes the matched
+tombstones, so the steady state carries no deletion debt.  A
+tombstoned row exists in exactly one sealed run (global uniqueness),
+which is what makes consume-on-match safe.
 
 Budget accounting
 -----------------
@@ -472,7 +491,11 @@ class RunStore:
         self.seals = 0
         self.merges = 0
         self.spills = 0
+        self.tombstones_cleared = 0
         self._tail = IdGraph()
+        #: Rows deleted from sealed (immutable) runs; filtered out of
+        #: every read surface and annihilated at canonical merges.
+        self._tombs = IdGraph()
         self._runs: list[_Run] = []
         self._serial = 0
         self._cache: OrderedDict[_CacheKey, tuple[np.ndarray, ...]] = (
@@ -482,7 +505,8 @@ class RunStore:
     # -- basic surface ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._tail) + sum(r.n_rows for r in self._runs)
+        return (len(self._tail) + sum(r.n_rows for r in self._runs)
+                - len(self._tombs))
 
     def __repr__(self) -> str:
         return (f"<RunStore with {len(self)} rows in {len(self._runs)} "
@@ -499,6 +523,10 @@ class RunStore:
             idx = run.canonical
             parts.append(_concat3(
                 [idx.decode_block(b) for b in range(idx.n_blocks)]))
+        if parts and len(self._tombs):
+            s, p, o = _concat3(parts)
+            alive = ~self._tombs.contains_rows(s, p, o)
+            parts = [(s[alive], p[alive], o[alive])]
         if len(self._tail):
             parts.append(self._tail.columns())
         return _concat3(parts)
@@ -522,19 +550,53 @@ class RunStore:
         if len(self):
             fresh = ~self.contains_rows(s, p, o)
             s, p, o = s[fresh], p[fresh], o[fresh]
+        # Re-adding a tombstoned row consumes the tombstone (the sealed
+        # run copy becomes live again) instead of writing a duplicate.
+        ts, tp, to = s, p, o
+        if len(self._tombs) and len(s):
+            dead = self._tombs.contains_rows(s, p, o)
+            if dead.any():
+                self._tombs.delete_rows(s[dead], p[dead], o[dead])
+                live = ~dead
+                ts, tp, to = s[live], p[live], o[live]
         start = 0
-        n_new = len(s)
+        n_new = len(ts)
         while start < n_new:
             room = self.tail_rows - len(self._tail)
             if room <= 0:
                 self._seal()
                 continue
             end = min(n_new, start + room)
-            self._tail.add_rows(s[start:end], p[start:end], o[start:end])
+            self._tail.add_rows(ts[start:end], tp[start:end], to[start:end])
             start = end
         if len(self._tail) >= self.tail_rows:
             self._seal()
         return s, p, o
+
+    def delete_rows(self, s: np.ndarray, p: np.ndarray, o: np.ndarray) -> int:
+        """Remove rows from the store; rows not present are ignored.
+
+        Returns the number of rows actually removed.  Rows still in the
+        mutable tail are compacted away physically; rows frozen into a
+        sealed run become tombstones, filtered out of every read path
+        and merged away at the next compaction of their run.
+        """
+        if len(s) == 0 or len(self) == 0:
+            return 0
+        keys = pack_columns((s, p, o))
+        _uniq, first = np.unique(keys, return_index=True)
+        s, p, o = s[first], p[first], o[first]
+        present = self.contains_rows(s, p, o)
+        if not present.any():
+            return 0
+        s, p, o = s[present], p[present], o[present]
+        in_tail = self._tail.contains_rows(s, p, o)
+        if in_tail.any():
+            self._tail.delete_rows(s[in_tail], p[in_tail], o[in_tail])
+        sealed = ~in_tail
+        if sealed.any():
+            self._tombs.add_rows(s[sealed], p[sealed], o[sealed])
+        return len(s)
 
     def _next_serial(self) -> int:
         self._serial += 1
@@ -581,7 +643,8 @@ class RunStore:
             if group is None:
                 return
             merged = _Run(self._merge_indexes(
-                [r.canonical for r in group], (0, 1, 2)))
+                [r.canonical for r in group], (0, 1, 2),
+                drop=self._tombs))
             self.merges += 1
             retired = {id(r) for r in group}
             out: list[_Run] = []
@@ -614,11 +677,34 @@ class RunStore:
         return max(1, rows // self.block_rows)
 
     def _merge_indexes(
-        self, sources: list[_OrderIndex], order: tuple[int, int, int]
+        self,
+        sources: list[_OrderIndex],
+        order: tuple[int, int, int],
+        drop: IdGraph | None = None,
     ) -> _OrderIndex:
         """Streaming k-way merge of same-order indexes.  Rows are
         globally unique across sources (insert-time dedup), so no
-        re-dedup happens here."""
+        re-dedup happens here.  With ``drop`` (canonical merges only —
+        rows must be in (s, p, o) position order), rows present in it
+        are filtered out of the merged index and *consumed* from
+        ``drop``: this is the tombstone annihilation step.
+        """
+        if drop is not None and len(drop) == 0:
+            drop = None
+        if drop is not None and order != (0, 1, 2):
+            raise ValueError("tombstone filtering requires canonical order")
+        consumed: list[Columns] = []
+
+        def strip(cols: Columns) -> Columns:
+            if drop is None or len(cols[0]) == 0:
+                return cols
+            dead = drop.contains_rows(cols[0], cols[1], cols[2])
+            if not dead.any():
+                return cols
+            consumed.append((cols[0][dead], cols[1][dead], cols[2][dead]))
+            live = ~dead
+            return (cols[0][live], cols[1][live], cols[2][live])
+
         builder = _IndexBuilder(order, self.block_rows)
         chunk = self._merge_chunk_blocks(len(sources))
         active = [c for c in (_MergeCursor(idx, chunk) for idx in sources)
@@ -626,18 +712,22 @@ class RunStore:
         while active:
             if len(active) == 1:
                 cursor = active[0]
-                builder.append(cursor.take_rest())
+                builder.append(strip(cursor.take_rest()))
                 while cursor.refill():
-                    builder.append(cursor.take_rest())
+                    builder.append(strip(cursor.take_rest()))
                 break
             limit = np.sort(
                 np.concatenate([c.keys[-1:] for c in active]))[:1]
             slabs = [c.take(limit) for c in active]
             merged = _concat3(slabs)
             perm = np.argsort(pack_columns(merged), kind="stable")
-            builder.append(
-                (merged[0][perm], merged[1][perm], merged[2][perm]))
+            builder.append(strip(
+                (merged[0][perm], merged[1][perm], merged[2][perm])))
             active = [c for c in active if c.refill()]
+        if drop is not None and consumed:
+            gone = _concat3(consumed)
+            drop.delete_rows(*gone)
+            self.tombstones_cleared += len(gone[0])
         return builder.finish(self._next_serial())
 
     # -- secondary orders -------------------------------------------------
@@ -819,8 +909,14 @@ class RunStore:
                 spo: list[np.ndarray] = [_EMPTY, _EMPTY, _EMPTY]
                 for i, pos in enumerate(idx.order):
                     spo[pos] = vals[i]
-                parts_cols.append((spo[0], spo[1], spo[2]))
-                parts_reps.append(reps)
+                if len(self._tombs):
+                    alive = ~self._tombs.contains_rows(spo[0], spo[1], spo[2])
+                    if not alive.all():
+                        spo = [spo[0][alive], spo[1][alive], spo[2][alive]]
+                        reps = reps[alive]
+                if len(reps):
+                    parts_cols.append((spo[0], spo[1], spo[2]))
+                    parts_reps.append(reps)
         if len(self._tail):
             tvals, treps = self._tail.probe(positions, query_cols)
             if len(treps):
@@ -840,7 +936,8 @@ class RunStore:
         nq = len(s)
         if nq == 0 or len(self) == 0:
             return np.zeros(nq, dtype=bool)
-        mask = self._tail.contains_rows(s, p, o)
+        tail_mask = self._tail.contains_rows(s, p, o)
+        run_mask = np.zeros(nq, dtype=bool)
         cols = (s, p, o)
         for run in self._runs:
             idx = run.canonical
@@ -853,15 +950,17 @@ class RunStore:
                 if len(blocks) == 0:
                     continue
                 _cols, keys = self._union_arrays(idx, blocks, 3)
-            mask = mask | member_mask(keys, pack_columns(cols))
-        return mask
+            run_mask = run_mask | member_mask(keys, pack_columns(cols))
+        if len(self._tombs):
+            run_mask &= ~self._tombs.contains_rows(s, p, o)
+        return tail_mask | run_mask
 
     # -- accounting -------------------------------------------------------
 
     def in_ram_bytes(self) -> int:
         """Accounted resident bytes: tail, per-index metadata and
         unspilled payloads, and the decode cache."""
-        total = self._tail.memory_bytes()
+        total = self._tail.memory_bytes() + self._tombs.memory_bytes()
         for run in self._runs:
             for idx in run.indexes.values():
                 total += idx.in_ram_bytes()
@@ -911,6 +1010,8 @@ class RunStore:
             "rows": len(self),
             "runs": len(self._runs),
             "tail_rows": len(self._tail),
+            "tombstones": len(self._tombs),
+            "tombstones_cleared": self.tombstones_cleared,
             "seals": self.seals,
             "merges": self.merges,
             "spills": self.spills,
