@@ -1,0 +1,117 @@
+"""Benchmark trajectory — a committed, append-only history of headline numbers.
+
+``BENCH_core.json`` is a *snapshot*: the consolidated numbers from the most
+recent bench run (written by ``benchmarks/test_bench_engine.py`` under
+``BENCH_CORE_JSON``).  This module distils each snapshot into one dated
+summary row — columnar speedup over the compiled engine, columnar
+throughput, and the run store's bytes/triple — and appends it to
+``BENCH_trajectory.json``, so regressions show up as a kink in a committed
+series rather than a diff against a single overwritten file.
+
+CI calls it right after the bench smoke step::
+
+    python benchmarks/trajectory.py --core bench-core-results.json
+
+Appending is idempotent per content: a row identical to the latest entry
+(ignoring its date) is skipped, so re-runs on unchanged numbers don't grow
+the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_CORE = _REPO_ROOT / "BENCH_core.json"
+DEFAULT_TRAJECTORY = _REPO_ROOT / "BENCH_trajectory.json"
+
+
+def summary_row(core: dict) -> dict:
+    """The headline numbers of one core-bench snapshot.
+
+    Pulls only stable, comparable-across-runs fields; anything missing
+    (older snapshot formats) records as ``None`` rather than failing, so
+    the trajectory survives schema evolution of the snapshot file.
+    """
+
+    def _get(*path: str) -> object:
+        node: object = core
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        return node
+
+    return {
+        "dataset": _get("dataset"),
+        "closure_triples": _get("closure_triples"),
+        "speedup": _get("speedup"),
+        "triples_per_sec": _get("columnar", "triples_per_sec"),
+        "bytes_per_triple": _get("runstore", "run_store", "bytes_per_triple"),
+    }
+
+
+def _same_numbers(a: dict, b: dict) -> bool:
+    """Row equality ignoring the date stamp."""
+    strip = lambda row: {k: v for k, v in row.items() if k != "date"}  # noqa: E731
+    return strip(a) == strip(b)
+
+
+def append_snapshot(
+    core_path: Path | str = DEFAULT_CORE,
+    trajectory_path: Path | str = DEFAULT_TRAJECTORY,
+    date: str | None = None,
+) -> bool:
+    """Append ``core_path``'s summary row to the trajectory file.
+
+    Returns ``True`` when a row was appended, ``False`` when the numbers
+    matched the latest entry and the file was left alone.  The trajectory
+    file is created on first use.
+    """
+    core = json.loads(Path(core_path).read_text(encoding="utf-8"))
+    row = summary_row(core)
+    row["date"] = date or _dt.date.today().isoformat()
+
+    trajectory_path = Path(trajectory_path)
+    if trajectory_path.exists():
+        rows = json.loads(trajectory_path.read_text(encoding="utf-8"))
+        if not isinstance(rows, list):
+            raise ValueError(
+                f"{trajectory_path} must hold a JSON list of rows, "
+                f"got {type(rows).__name__}"
+            )
+    else:
+        rows = []
+
+    if rows and _same_numbers(rows[-1], row):
+        return False
+    rows.append(row)
+    trajectory_path.write_text(
+        json.dumps(rows, indent=1) + "\n", encoding="utf-8"
+    )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append BENCH_core.json's headline row to the "
+        "committed benchmark trajectory.",
+    )
+    parser.add_argument("--core", default=str(DEFAULT_CORE),
+                        help="core bench snapshot to summarize")
+    parser.add_argument("--trajectory", default=str(DEFAULT_TRAJECTORY),
+                        help="trajectory file to append to")
+    parser.add_argument("--date", default=None,
+                        help="row date (YYYY-MM-DD, default: today)")
+    args = parser.parse_args(argv)
+    appended = append_snapshot(args.core, args.trajectory, date=args.date)
+    verb = "appended to" if appended else "unchanged, skipped"
+    print(f"trajectory: {verb} {args.trajectory}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,14 +1,18 @@
 """Static analysis for the parallel runtime: one import surface.
 
-Three passes (see DESIGN.md §10):
+Four passes (see DESIGN.md §10 and §14):
 
 * :mod:`repro.analysis.protocol` — the async control protocol as a
   declarative spec, statically verified against the backend sources.
 * :mod:`repro.analysis.lint` — the PR-3 concurrency bug classes as AST
   rules plus the behavioral spawn-safety probe.
+* :mod:`repro.analysis.dataflow` — the store-invariant contract
+  (ST300-series): mutation/invalidation discipline of the id-native
+  stores, tombstone paths, stripe minting.  Its runtime twin is
+  :mod:`repro.analysis.sanitize` (``REPRO_SANITIZE=1``).
 * :mod:`repro.analysis.preflight` — the run-time gate
   (``materialize(..., preflight=...)``) folding the rule-partitionability
-  check and both passes above.
+  check and the passes above.
 
 The rule-analysis helpers from :mod:`repro.datalog.analysis` are
 re-exported here so gate callers need a single import.
@@ -23,11 +27,31 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable
 
+from repro.analysis.dataflow import (
+    STORE_SPECS,
+    STRIPE_RULES,
+    CacheRule,
+    StateRule,
+    StoreSpec,
+    StripeRule,
+    TombstoneRule,
+    VersionRule,
+    store_spec_table,
+    verify_stores,
+)
 from repro.analysis.lint import (
     DEFAULT_CONFIG,
     LintConfig,
     check_spawn_safety,
     lint_paths,
+)
+from repro.analysis.sanitize import (
+    SanitizedIdGraph,
+    SanitizedRunStore,
+    SanitizerError,
+    check_ledger,
+    check_stripe_disjointness,
+    sanitize_enabled,
 )
 from repro.analysis.preflight import (
     PreflightError,
@@ -67,6 +91,7 @@ __all__ = [
     "AllowlistEntry",
     "AllowlistError",
     "AnalysisReport",
+    "CacheRule",
     "DEFAULT_CONFIG",
     "Finding",
     "HandlerSpec",
@@ -78,8 +103,20 @@ __all__ = [
     "PreflightError",
     "PreflightWarning",
     "ProtocolSpec",
+    "STORE_SPECS",
+    "STRIPE_RULES",
+    "SanitizedIdGraph",
+    "SanitizedRunStore",
+    "SanitizerError",
+    "StateRule",
+    "StoreSpec",
+    "StripeRule",
+    "TombstoneRule",
+    "VersionRule",
     "check_data_partitionable",
+    "check_ledger",
     "check_spawn_safety",
+    "check_stripe_disjointness",
     "classify_rule",
     "default_allowlist_path",
     "is_single_join",
@@ -90,8 +127,11 @@ __all__ = [
     "partitionability_diagnostics",
     "run_all",
     "run_preflight",
+    "sanitize_enabled",
     "spec_table",
+    "store_spec_table",
     "verify_protocol",
+    "verify_stores",
 ]
 
 
@@ -124,4 +164,6 @@ def run_all(
     report.passes.append("lint")
     report.extend(lint_paths(paths, DEFAULT_CONFIG, root=root), allowlist)
     report.extend(check_spawn_safety(), allowlist)
+    report.passes.append("dataflow")
+    report.extend(verify_stores(), allowlist)
     return report

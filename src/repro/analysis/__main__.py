@@ -12,7 +12,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis import run_all, spec_table
+from repro.analysis import run_all, spec_table, store_spec_table
 from repro.analysis.report import AllowlistError
 
 
@@ -45,10 +45,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the protocol spec table (markdown) and exit",
     )
+    parser.add_argument(
+        "--store-spec",
+        action="store_true",
+        help="print the store-invariant spec table (markdown) and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.spec:
         print(spec_table())
+        return 0
+    if args.store_spec:
+        print(store_spec_table())
         return 0
 
     try:

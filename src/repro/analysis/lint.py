@@ -121,6 +121,10 @@ class LintConfig:
         "repro/rdf/runstore",
         "repro/datalog/columnar",
         "repro/datalog/incremental",
+        # The sanitizer wraps worker stores, so it loads in worker
+        # processes too; the dataflow verifier rides along for symmetry.
+        "repro/analysis/dataflow",
+        "repro/analysis/sanitize",
     )
     #: Scope for CX105: unseeded randomness matters where determinism is a
     #: correctness property (engines, partitioning, the parallel runtime).
@@ -131,6 +135,8 @@ class LintConfig:
         "repro/graphpart/",
         "repro/rdf/idstore",
         "repro/rdf/runstore",
+        "repro/analysis/dataflow",
+        "repro/analysis/sanitize",
     )
 
     def in_scope(self, path: str, scope: tuple[str, ...]) -> bool:

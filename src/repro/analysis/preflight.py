@@ -17,6 +17,9 @@ folds them into a single gate the driver exposes as
   run.
 * **lint** — :func:`repro.analysis.lint.lint_paths` over the
   ``repro.parallel`` package plus the spawn-safety probe.
+* **dataflow** — :func:`repro.analysis.dataflow.verify_stores` over the
+  store sources: the ST300-series store-invariant contract (mutation/
+  invalidation discipline, tombstone paths, stripe minting).
 
 ``mode="strict"`` raises :class:`PreflightError` (typed: carries the full
 :class:`~repro.analysis.report.AnalysisReport`); ``"warn"`` emits a
@@ -32,6 +35,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
+from repro.analysis.dataflow import verify_stores
 from repro.analysis.lint import (
     DEFAULT_CONFIG,
     check_spawn_safety,
@@ -102,6 +106,17 @@ def _protocol_findings() -> list[Finding]:
 
 
 @lru_cache(maxsize=1)
+def _cached_dataflow_findings() -> tuple[Finding, ...]:
+    return tuple(verify_stores())
+
+
+def _dataflow_findings() -> list[Finding]:
+    if _SOURCES_OVERRIDE is not None:
+        return verify_stores(sources=_SOURCES_OVERRIDE)
+    return list(_cached_dataflow_findings())
+
+
+@lru_cache(maxsize=1)
 def _cached_runtime_lint_findings() -> tuple[Finding, ...]:
     import repro.parallel
 
@@ -133,7 +148,7 @@ def run_preflight(
     mode: str = "strict",
     approach: str = "data",
     allowlist_path: str | Path | None = None,
-    passes: Sequence[str] = ("rules", "protocol", "lint"),
+    passes: Sequence[str] = ("rules", "protocol", "lint", "dataflow"),
 ) -> AnalysisReport:
     """Run the preflight gate; raise/warn/skip according to ``mode``.
 
@@ -159,6 +174,9 @@ def run_preflight(
     if "lint" in passes:
         report.passes.append("lint")
         report.extend(_cached_runtime_lint_findings(), allowlist)
+    if "dataflow" in passes:
+        report.passes.append("dataflow")
+        report.extend(_dataflow_findings(), allowlist)
     if not report.ok:
         if mode == "strict":
             raise PreflightError(report)

@@ -241,6 +241,7 @@ class SemiNaiveEngine:
         engine: EngineKind | None = None,
         store: StoreKind | None = None,
         memory_budget_bytes: int | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         self.rules = tuple(rules)
         #: Safety valve for runaway rule sets; ``None`` means run to fixpoint.
@@ -264,6 +265,10 @@ class SemiNaiveEngine:
         #: :class:`~repro.rdf.runstore.RunStore`.
         self.store_kind: StoreKind = store
         self.memory_budget_bytes = memory_budget_bytes
+        #: Tri-state runtime-sanitizer switch: an explicit True/False wins,
+        #: None defers to the REPRO_SANITIZE environment variable (resolved
+        #: lazily at store construction, so the env var works unplumbed).
+        self.sanitize = sanitize
         self.engine_kind: EngineKind = engine
         self.compile_rules = engine != "generic"
         for rule in self.rules:
@@ -472,7 +477,23 @@ class SemiNaiveEngine:
             graph=graph, added=added, removed=removed, stats=outcome.stats)
 
     def _make_store(self, capacity: int):
-        """A fresh mirror store of the configured kind."""
+        """A fresh mirror store of the configured kind.
+
+        With the sanitizer on (``sanitize=True`` or ``REPRO_SANITIZE=1``)
+        the sanitized store subclasses are constructed instead — the
+        selection happens only here, so the unsanitized path carries no
+        overhead.  Imported lazily: repro.analysis must stay importable
+        without dragging the datalog layer in at module import time.
+        """
+        from repro.analysis.sanitize import make_store, sanitize_enabled
+
+        if sanitize_enabled(self.sanitize):
+            return make_store(
+                self.store_kind,
+                capacity=capacity,
+                memory_budget_bytes=self.memory_budget_bytes,
+                label="engine-mirror",
+            )
         if self.store_kind == "run":
             from repro.rdf.runstore import RunStore
 

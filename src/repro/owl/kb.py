@@ -66,6 +66,7 @@ class MaterializedKB:
         engine: str | None = None,
         store: str | None = None,
         memory_budget_bytes: int | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         self.compiled: CompiledRuleSet = compile_ontology(
             ontology, include_sameas_propagation=include_sameas_propagation
@@ -75,11 +76,14 @@ class MaterializedKB:
         # graph object), so repeated small loads stay cheap.  ``store`` /
         # ``memory_budget_bytes`` select that mirror's storage: "run"
         # keeps it as compressed sorted runs under a resident-byte cap.
+        # ``sanitize`` opts the mirror into the runtime invariant checks
+        # (None defers to REPRO_SANITIZE; see repro.analysis.sanitize).
         self._engine = SemiNaiveEngine(self.compiled.rules,
                                        compile_rules=compile_rules,
                                        engine=engine,
                                        store=store,
-                                       memory_budget_bytes=memory_budget_bytes)
+                                       memory_budget_bytes=memory_budget_bytes,
+                                       sanitize=sanitize)
         self._base = Graph()
         self._closed = Graph()
         self._stats = EngineStats()

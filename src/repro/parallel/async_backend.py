@@ -165,6 +165,7 @@ def run_async_inprocess(
     engine: str | None = None,
     store: str | None = None,
     memory_budget_bytes: int | None = None,
+    sanitize: bool | None = None,
 ) -> AsyncRunResult:
     """Round-free run with in-process workers and controllable delivery.
 
@@ -221,6 +222,7 @@ def run_async_inprocess(
             engine=engine,
             store=store,
             memory_budget_bytes=memory_budget_bytes,
+            sanitize=sanitize,
         )
         for i in range(k)
     ]
@@ -296,6 +298,7 @@ def run_async_inprocess(
             engine=engine,
             store=store,
             memory_budget_bytes=memory_budget_bytes,
+            sanitize=sanitize,
         )
         workers[node] = replacement
         boot = replacement.bootstrap()
@@ -373,6 +376,7 @@ def run_async_inprocess(
         det.record_delivery(dest)
         _emit(result.outgoing)
 
+    _post_run_checks(det, workers, sanitize)
     union = Graph()
     for w in workers:
         union.update(iter(w.output_graph()))
@@ -381,6 +385,25 @@ def run_async_inprocess(
         stats=stats,
         forwarded=list(det.forwarded),
         consumed=list(det.consumed),
+    )
+
+
+def _post_run_checks(det, workers, sanitize) -> None:
+    """With the sanitizer enabled, audit the run's end state: the Safra
+    counting ledger must conserve (forwarded == consumed everywhere) and
+    the workers' dictionary stripes must be pairwise disjoint — an id
+    minted by two incarnations would silently merge unrelated terms."""
+    from repro.analysis.sanitize import (
+        check_ledger,
+        check_stripe_disjointness,
+        sanitize_enabled,
+    )
+
+    if not sanitize_enabled(sanitize):
+        return
+    check_ledger(det)
+    check_stripe_disjointness(
+        [w.dictionary for w in workers if w.dictionary is not None]
     )
 
 
@@ -400,6 +423,7 @@ def run_apply_inprocess(
     max_messages: int = 1_000_000,
     store: str | None = None,
     memory_budget_bytes: int | None = None,
+    sanitize: bool | None = None,
 ) -> AsyncRunResult:
     """Distributed delete-and-rederive over the id wire protocol.
 
@@ -451,6 +475,7 @@ def run_apply_inprocess(
             engine="columnar",
             store=store,
             memory_budget_bytes=memory_budget_bytes,
+            sanitize=sanitize,
         )
         for i in range(k)
     ]
@@ -522,6 +547,7 @@ def run_apply_inprocess(
         ])
         _drain()
 
+    _post_run_checks(det, workers, sanitize)
     union = Graph()
     for w in workers:
         union.update(iter(w.output_graph()))
@@ -558,6 +584,9 @@ class _AsyncNodeConfig:
     #: cap — adopted incarnations rebuild with the same budget.
     store: str | None = None
     memory_budget_bytes: int | None = None
+    #: Runtime invariant checks (:mod:`repro.analysis.sanitize`) for every
+    #: hosted worker's store; ``None`` defers to ``REPRO_SANITIZE``.
+    sanitize: bool | None = None
 
 
 def _make_logical_worker(cfg: _AsyncNodeConfig, epoch: int) -> PartitionWorker:
@@ -574,6 +603,7 @@ def _make_logical_worker(cfg: _AsyncNodeConfig, epoch: int) -> PartitionWorker:
         engine=cfg.engine,
         store=cfg.store,
         memory_budget_bytes=cfg.memory_budget_bytes,
+        sanitize=cfg.sanitize,
     )
 
 
@@ -658,6 +688,7 @@ def run_multiprocess_async(
     engine: str | None = None,
     store: str | None = None,
     memory_budget_bytes: int | None = None,
+    sanitize: bool | None = None,
 ):
     """Round-free execution across real processes; returns the unioned KB
     (or the full :class:`AsyncRunResult` with ``with_stats=True``).
@@ -711,6 +742,7 @@ def run_multiprocess_async(
             engine=engine,
             store=store,
             memory_budget_bytes=memory_budget_bytes,
+            sanitize=sanitize,
         )
         cfgs.append(cfg)
         proc = ctx.Process(

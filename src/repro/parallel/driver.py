@@ -102,6 +102,7 @@ class ParallelReasoner:
         degrade: str = "abort",
         max_retries: int = 2,
         supervision: "SupervisionPolicy | None" = None,
+        sanitize: bool | None = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -137,6 +138,10 @@ class ParallelReasoner:
         #: is the *per-worker* resident cap the run store honors.
         self.store = store
         self.memory_budget_bytes = memory_budget_bytes
+        #: Opt every worker's store into the runtime invariant sanitizer
+        #: (:mod:`repro.analysis.sanitize`); ``None`` defers to the
+        #: ``REPRO_SANITIZE`` environment variable.
+        self.sanitize = sanitize
         #: Speak the id-encoded wire protocol: workers exchange
         #: :class:`~repro.parallel.messages.EncodedBatch` (int64 rows +
         #: delta dictionaries) instead of term-level batches, with
@@ -220,6 +225,7 @@ class ParallelReasoner:
                     engine=self.engine,
                     store=self.store,
                     memory_budget_bytes=self.memory_budget_bytes,
+                    sanitize=self.sanitize,
                 )
                 for i in range(self.k)
             ]
@@ -250,6 +256,7 @@ class ParallelReasoner:
                     engine=self.engine,
                     store=self.store,
                     memory_budget_bytes=self.memory_budget_bytes,
+                    sanitize=self.sanitize,
                 )
                 for i in range(self.k)
             ]
@@ -389,6 +396,7 @@ class ParallelReasoner:
                 supervision=self.supervision, with_stats=True,
                 engine=self.engine, store=self.store,
                 memory_budget_bytes=self.memory_budget_bytes,
+                sanitize=self.sanitize,
             )
         else:
             policy = self.supervision
@@ -400,6 +408,7 @@ class ParallelReasoner:
                 max_retries=policy.max_retries if policy else self.max_retries,
                 engine=self.engine, store=self.store,
                 memory_budget_bytes=self.memory_budget_bytes,
+                sanitize=self.sanitize,
             )
         result.graph.update(iter(schema))
         result.graph.update(iter(self.compiled.schema))
@@ -439,6 +448,7 @@ class ParallelReasoner:
             delivery=delivery, seed=self.seed,
             store=self.store,
             memory_budget_bytes=self.memory_budget_bytes,
+            sanitize=self.sanitize,
         )
         result.graph.update(iter(schema))
         result.graph.update(iter(self.compiled.schema))

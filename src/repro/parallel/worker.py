@@ -105,6 +105,7 @@ class PartitionWorker:
         engine: str | None = None,
         store: str | None = None,
         memory_budget_bytes: int | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         self.node_id = node_id
         #: Incarnation number: 0 for the original worker, bumped each time
@@ -143,13 +144,27 @@ class PartitionWorker:
             store = "run" if memory_budget_bytes is not None else "dense"
         self.store = store
         self.memory_budget_bytes = memory_budget_bytes
+        #: Runtime-sanitizer switch (tri-state; None defers to
+        #: REPRO_SANITIZE).  Recorded so supervision rebuilds adopted
+        #: incarnations with the same checking.
+        self.sanitize = sanitize
         if self.id_native:
             assert dictionary is not None
             self.engine = None
             self._columnar: ColumnarEngine | None = ColumnarEngine(
                 self.rules, dictionary)
             self._idgraph: IdGraph | RunStore | None
-            if store == "run":
+            from repro.analysis.sanitize import make_store, sanitize_enabled
+
+            if sanitize_enabled(sanitize):
+                self._idgraph = make_store(
+                    store,
+                    capacity=len(self.graph),
+                    memory_budget_bytes=memory_budget_bytes,
+                    label=f"worker{node_id}-store",
+                    seed=node_id,
+                )
+            elif store == "run":
                 self._idgraph = RunStore(
                     memory_budget_bytes=memory_budget_bytes)
             else:
@@ -179,7 +194,8 @@ class PartitionWorker:
                 self.rules, compile_rules=compile_rules, engine=engine,
                 store=store if engine == "columnar" else None,
                 memory_budget_bytes=(
-                    memory_budget_bytes if engine == "columnar" else None))
+                    memory_budget_bytes if engine == "columnar" else None),
+                sanitize=sanitize)
             self._columnar = None
             self._idgraph = None
             self._base_rows = None

@@ -1,0 +1,14 @@
+"""ST300 fixture: ``remove`` mutates state but forgets the version bump."""
+
+
+class TinyStore:
+    def __init__(self):
+        self._rows = []
+        self._version = 0
+
+    def add(self, row):
+        self._rows.append(row)
+        self._version += 1
+
+    def remove(self, row):
+        self._rows.remove(row)  # missing: self._version += 1

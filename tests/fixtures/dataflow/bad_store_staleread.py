@@ -1,0 +1,23 @@
+"""ST301 fixture: ``view`` serves the cache without any staleness guard."""
+
+
+class TinyCachedStore:
+    def __init__(self):
+        self._rows = []
+        self._n = 0
+        self._view_cache = None
+
+    def add(self, row):
+        self._rows.append(row)
+        self._n += 1
+        self._view_cache = None
+
+    def view(self):
+        # Stale read: never compares the cache against self._n, so a
+        # populated cache survives later add() calls in a refactor that
+        # drops the invalidation line.
+        return self._view_cache
+
+    def rebuild(self):
+        self._view_cache = sorted(self._rows)
+        return self._view_cache

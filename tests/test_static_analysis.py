@@ -252,7 +252,7 @@ def test_allowlist_suppresses_and_audits():
 
 def test_preflight_clean_repo_passes():
     report = run_preflight()
-    assert report.ok and set(report.passes) == {"protocol", "lint"}
+    assert report.ok and set(report.passes) == {"protocol", "lint", "dataflow"}
 
 
 def test_preflight_strict_rejects_multi_join_rules():
@@ -350,7 +350,7 @@ def test_cli_clean_tree_exits_zero():
     assert proc.returncode == 0, proc.stdout + proc.stderr
     payload = json.loads(proc.stdout)
     assert payload["ok"] is True
-    assert payload["passes"] == ["protocol", "lint"]
+    assert payload["passes"] == ["protocol", "lint", "dataflow"]
 
 
 def test_cli_findings_exit_nonzero_and_report_file(tmp_path):

@@ -1,0 +1,91 @@
+"""The benchmark trajectory appender (benchmarks/trajectory.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# benchmarks/ is not a package; load the module off its file path.
+_spec = importlib.util.spec_from_file_location(
+    "bench_trajectory", REPO_ROOT / "benchmarks" / "trajectory.py"
+)
+assert _spec is not None and _spec.loader is not None
+trajectory = importlib.util.module_from_spec(_spec)
+sys.modules["bench_trajectory"] = trajectory
+_spec.loader.exec_module(trajectory)
+
+
+CORE = {
+    "dataset": "LUBM(8)",
+    "closure_triples": 11534,
+    "speedup": 2.31,
+    "columnar": {"seconds": 0.05, "triples_per_sec": 216619},
+    "runstore": {"run_store": {"bytes_per_triple": 8.17}},
+}
+
+
+def test_summary_row_pulls_headline_fields():
+    row = trajectory.summary_row(CORE)
+    assert row == {
+        "dataset": "LUBM(8)",
+        "closure_triples": 11534,
+        "speedup": 2.31,
+        "triples_per_sec": 216619,
+        "bytes_per_triple": 8.17,
+    }
+
+
+def test_summary_row_tolerates_missing_sections():
+    row = trajectory.summary_row({"dataset": "LUBM(1)", "speedup": 1.5})
+    assert row["dataset"] == "LUBM(1)"
+    assert row["speedup"] == 1.5
+    assert row["triples_per_sec"] is None
+    assert row["bytes_per_triple"] is None
+
+
+def test_append_creates_then_dedups(tmp_path):
+    core = tmp_path / "core.json"
+    core.write_text(json.dumps(CORE), encoding="utf-8")
+    traj = tmp_path / "traj.json"
+
+    assert trajectory.append_snapshot(core, traj, date="2026-08-08") is True
+    rows = json.loads(traj.read_text(encoding="utf-8"))
+    assert len(rows) == 1 and rows[0]["date"] == "2026-08-08"
+
+    # Same numbers on a later date: skipped, file unchanged.
+    assert trajectory.append_snapshot(core, traj, date="2026-08-09") is False
+    assert json.loads(traj.read_text(encoding="utf-8")) == rows
+
+    # Changed numbers append a second row.
+    improved = dict(CORE, speedup=2.5)
+    core.write_text(json.dumps(improved), encoding="utf-8")
+    assert trajectory.append_snapshot(core, traj, date="2026-08-10") is True
+    rows = json.loads(traj.read_text(encoding="utf-8"))
+    assert len(rows) == 2 and rows[1]["speedup"] == 2.5
+
+
+def test_append_rejects_non_list_trajectory(tmp_path):
+    core = tmp_path / "core.json"
+    core.write_text(json.dumps(CORE), encoding="utf-8")
+    traj = tmp_path / "traj.json"
+    traj.write_text("{}", encoding="utf-8")
+    try:
+        trajectory.append_snapshot(core, traj, date="2026-08-08")
+    except ValueError as exc:
+        assert "JSON list" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError on non-list trajectory")
+
+
+def test_committed_trajectory_matches_committed_core():
+    """The committed trajectory's latest row must track BENCH_core.json —
+    a new snapshot without the appended row fails here, which is the
+    'called from bench CI' contract enforced locally."""
+    core = json.loads((REPO_ROOT / "BENCH_core.json").read_text("utf-8"))
+    rows = json.loads((REPO_ROOT / "BENCH_trajectory.json").read_text("utf-8"))
+    assert rows, "BENCH_trajectory.json must hold at least one row"
+    expected = trajectory.summary_row(core)
+    latest = {k: v for k, v in rows[-1].items() if k != "date"}
+    assert latest == expected
