@@ -1,0 +1,87 @@
+"""Serving-tier bench: QPS and tail latency of the resident KB server.
+
+Drives a :class:`~repro.serving.KBServer` (id-native partition workers
+kept resident after a parallel bulk load) with the multi-client
+closed-loop load generator at two concurrency levels, and writes the
+``BENCH_serving.json`` snapshot CI archives (``BENCH_SERVING_JSON`` env
+var, else the test tmpdir).  Gates:
+
+* QPS > 0 and p50 <= p99 at every level;
+* repeated queries hit the version-keyed result caches (hit rate > 0);
+* a DRed write (:meth:`MaterializedKB.apply`) through the server
+  invalidates those caches — the post-write answer reflects the delta.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datalog.ast import Atom
+from repro.datasets.lubm import UB
+from repro.datasets.lubm_queries import LUBM_QUERIES
+from repro.owl.vocabulary import RDF
+from repro.rdf import Triple, URI
+from repro.rdf.terms import Variable
+from repro.serving import KBServer, run_load, write_serving_bench
+
+
+def _serving_results_path(tmp_path: Path) -> Path:
+    override = os.environ.get("BENCH_SERVING_JSON")
+    return Path(override) if override else tmp_path / "bench_serving.json"
+
+
+@pytest.fixture(scope="module")
+def server(lubm_tiny):
+    with KBServer.load(lubm_tiny.ontology, lubm_tiny.data, k=2,
+                       capacity=256) as srv:
+        yield srv
+
+
+def test_bench_serving_qps_p99(tmp_path, server, lubm_tiny):
+    queries = [q.parse().bgp for q in LUBM_QUERIES]
+    # One warm-up pass populates the per-worker pattern caches, so the
+    # measured window reports the resident steady state.
+    for q in queries:
+        server.query(q)
+
+    reports = []
+    for concurrency in (1, 4):
+        report = run_load(server, queries, concurrency=concurrency,
+                          requests_per_client=64 // concurrency,
+                          label=f"c{concurrency}")
+        assert report.completed == report.requests
+        assert report.qps > 0
+        assert 0 < report.p50_ms <= report.p99_ms
+        # the closed-loop mix repeats all 14 patterns: cache territory
+        assert report.cache_hit_rate > 0, report
+        reports.append(report)
+
+    payload = write_serving_bench(
+        _serving_results_path(tmp_path),
+        reports,
+        meta={
+            "dataset": lubm_tiny.name,
+            "closure_triples": len(server.kb),
+            "k": 2,
+            "backend": "bsp",
+            "queries": len(queries),
+        },
+    )
+    assert len(payload["levels"]) == 2
+    assert payload["headline"]["qps"] > 0
+
+
+def test_bench_serving_write_invalidation(server):
+    """The write path invalidates the caches it must: a served answer
+    changes after an apply through the server, and reverts after the
+    retraction — no stale cache reads in between."""
+    x = Variable("x")
+    pattern = [Atom(x, RDF.type, UB.FullProfessor)]
+    before = server.query(pattern)
+    server.query(pattern)  # ensure the cached path is what we re-read
+    newcomer = Triple(URI("ex:bench-prof"), RDF.type, UB.FullProfessor)
+    server.apply(adds=[newcomer])
+    assert len(server.query(pattern)) == len(before) + 1
+    server.apply(removes=[newcomer])
+    assert len(server.query(pattern)) == len(before)

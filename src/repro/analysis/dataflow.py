@@ -166,6 +166,7 @@ STORE_SPECS: tuple[StoreSpec, ...] = (
                 exempt=_fs("memory_bytes"),
             ),
         ),
+        versions=(VersionRule("_version", _fs("add_rows", "delete_rows")),),
     ),
     StoreSpec(
         module="repro.rdf.runstore",
@@ -177,8 +178,26 @@ STORE_SPECS: tuple[StoreSpec, ...] = (
             StateRule("_cache", _fs("_cache_get", "_cache_put", "_retire")),
             StateRule("_cache_used", _fs("_cache_put", "_retire")),
         ),
+        versions=(VersionRule("_version", _fs("add_rows", "delete_rows")),),
         tombstones=(
             TombstoneRule("_tombs", _fs("add_rows", "delete_rows", "_compact")),
+        ),
+    ),
+    StoreSpec(
+        module="repro.rdf.idquery",
+        cls="IdIndex",
+        caches=(
+            # The id-encoded mirror of the term graph: rebuilt inside
+            # ``current`` whenever the graph's version moved past the
+            # ``_key`` the mirror was built at.  No in-class invalidators
+            # — invalidation is the version-key comparison itself.
+            CacheRule(
+                "_mirror",
+                invalidators=_fs(),
+                readers=_fs("current"),
+                guard="_key",
+                writers=_fs("current"),
+            ),
         ),
     ),
     StoreSpec(
@@ -234,6 +253,45 @@ STORE_SPECS: tuple[StoreSpec, ...] = (
             ),
         ),
     ),
+    StoreSpec(
+        module="repro.serving.server",
+        cls="WorkerResultCache",
+        caches=(
+            # The serving tier's per-worker pattern answers, keyed on the
+            # worker store's version at compute time.  No in-class
+            # invalidators — a write path that bumps the store version
+            # invalidates by key mismatch inside ``lookup`` (its
+            # ``entry is None or entry[0] != version`` test is the
+            # guard); ``lookup`` also writes the OrderedDict for LRU
+            # recency, hence its place among the writers.
+            CacheRule(
+                "_entries",
+                invalidators=_fs(),
+                readers=_fs("lookup"),
+                guard=None,
+                writers=_fs("store", "lookup"),
+                exempt=_fs("__len__"),
+            ),
+        ),
+        state=(
+            StateRule("hits", _fs("lookup")),
+            StateRule("misses", _fs("lookup")),
+        ),
+    ),
+    StoreSpec(
+        module="repro.serving.server",
+        cls="KBServer",
+        # Single-writer discipline: each lifetime counter has exactly one
+        # blessed writing method (the serve loop owns served/applied/
+        # batches; admission owns rejected), so ``stats`` snapshots are
+        # consistent without locking.
+        state=(
+            StateRule("_served", _fs("_handle")),
+            StateRule("_applied", _fs("_handle")),
+            StateRule("_batches", _fs("_serve_loop")),
+            StateRule("_rejected", _fs("_enqueue")),
+        ),
+    ),
 )
 
 STRIPE_RULES: tuple[StripeRule, ...] = (
@@ -262,10 +320,15 @@ CONSUMER_MODULES: tuple[str, ...] = (
     "repro.parallel.worker",
     "repro.parallel.async_backend",
     "repro.parallel.driver",
+    # The distributed query coordinator reads worker stores and gathers
+    # their batches; it must never reach into store privates.
+    "repro.parallel.query",
     "repro.owl.kb",
     # The runtime sanitizer reads store privates but must never mutate
     # them; the foreign-write scan keeps that one-way promise checked.
     "repro.analysis.sanitize",
+    # The serving load driver reads server stats; same one-way promise.
+    "repro.serving.loadgen",
 )
 
 #: Attribute calls that mutate their receiver.

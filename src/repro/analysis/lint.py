@@ -119,12 +119,18 @@ class LintConfig:
         "repro/parallel/",
         "repro/rdf/idstore",
         "repro/rdf/runstore",
+        # The vectorized query kernel runs against worker stores (the
+        # distributed fast path imports it inside worker answering).
+        "repro/rdf/idquery",
         "repro/datalog/columnar",
         "repro/datalog/incremental",
         # The sanitizer wraps worker stores, so it loads in worker
         # processes too; the dataflow verifier rides along for symmetry.
         "repro/analysis/dataflow",
         "repro/analysis/sanitize",
+        # The serving tier holds workers resident and shares their
+        # stores across server threads — same shared-state obligations.
+        "repro/serving/",
     )
     #: Scope for CX105: unseeded randomness matters where determinism is a
     #: correctness property (engines, partitioning, the parallel runtime).
@@ -135,8 +141,12 @@ class LintConfig:
         "repro/graphpart/",
         "repro/rdf/idstore",
         "repro/rdf/runstore",
+        "repro/rdf/idquery",
         "repro/analysis/dataflow",
         "repro/analysis/sanitize",
+        # Serving benchmarks must be reproducible: the load mix and
+        # batching order may not depend on unseeded randomness.
+        "repro/serving/",
     )
 
     def in_scope(self, path: str, scope: tuple[str, ...]) -> bool:

@@ -34,6 +34,7 @@ from repro.datalog.ast import Atom, Bindings
 from repro.datalog.engine import ApplyResult, EngineStats, SemiNaiveEngine
 from repro.owl.compiler import CompiledRuleSet, compile_ontology
 from repro.rdf.graph import Graph
+from repro.rdf.idquery import IdIndex
 from repro.rdf.query import BGPQuery
 from repro.rdf.terms import Term
 from repro.rdf.triple import Triple
@@ -87,6 +88,7 @@ class MaterializedKB:
         self._base = Graph()
         self._closed = Graph()
         self._stats = EngineStats()
+        self._id_indexes: dict[str, IdIndex] = {}
 
     # -- loading ----------------------------------------------------------------
 
@@ -108,6 +110,9 @@ class MaterializedKB:
         graph: Graph,
         parallel_k: int | None = None,
         approach: Literal["data", "rule"] = "data",
+        engine: str | None = None,
+        encode_wire: bool = False,
+        backend: Literal["bsp", "async"] = "bsp",
     ) -> None:
         """Initial load of a whole graph.
 
@@ -115,6 +120,14 @@ class MaterializedKB:
         :class:`~repro.parallel.driver.ParallelReasoner`; the closed result
         replaces this KB's contents (so call it on an empty KB — it raises
         otherwise, instead of merging two closure histories).
+
+        ``engine``/``encode_wire``/``backend`` select the cluster runtime
+        for the parallel path (``engine="columnar", encode_wire=True``
+        makes the workers id-native; ``backend="async"`` runs the
+        supervised round-free runtime instead of BSP rounds).  The run's
+        result — including its still-resident workers — is kept as
+        :attr:`last_parallel_run`, which is how the serving tier
+        (:mod:`repro.serving`) adopts the cluster it serves from.
         """
         if parallel_k is None:
             self.add(iter(graph))
@@ -129,16 +142,28 @@ class MaterializedKB:
         # Built from the saturated TBox, so the parallel reasoner compiles
         # an identical rule set (saturation is idempotent).
         reasoner = ParallelReasoner(self.compiled.schema, k=parallel_k,
-                                    approach=approach)
-        result = reasoner.materialize(graph)
+                                    approach=approach, engine=engine,
+                                    encode_wire=encode_wire)
+        if backend == "async":
+            result = reasoner.materialize_async(graph)
+            engine_stats = EngineStats()
+            for worker in result.workers:
+                engine_stats.merge(worker.engine_stats)
+        elif backend == "bsp":
+            result = reasoner.materialize(graph)
+            engine_stats = result.engine_stats
+        else:
+            raise ValueError(
+                f'backend must be "bsp" or "async", got {backend!r}')
+        self._last_parallel_run = result
         self._base.update(iter(graph))
         for t in result.graph:
             if t not in reasoner.compiled.schema:
                 self._closed.add(t)
         # The cluster's engine work counts toward this KB's totals just
         # like a serial load's would — merged, not discarded.
-        self._stats.merge(result.engine_stats)
-        self._last_load_stats = result.engine_stats
+        self._stats.merge(engine_stats)
+        self._last_load_stats = engine_stats
 
     def apply(
         self,
@@ -175,6 +200,7 @@ class MaterializedKB:
         retraction batch is large enough that overdeletion would visit
         most of the closure."""
         self._closed = self._base.copy()
+        self._id_indexes.clear()  # the old indexes mirror the old graph
         self._stats = EngineStats()
         result = self._engine.run(self._closed)
         self._stats.merge(result.stats)
@@ -204,6 +230,15 @@ class MaterializedKB:
     @property
     def base_graph(self) -> Graph:
         return self._base
+
+    @property
+    def last_parallel_run(self):
+        """The most recent parallel :meth:`bulk_load`'s run result
+        (:class:`~repro.parallel.driver.ParallelRunResult` or
+        :class:`~repro.parallel.async_backend.AsyncRunResult`), ``None``
+        before any parallel load.  Its ``workers`` stay resident — the
+        serving tier adopts them."""
+        return getattr(self, "_last_parallel_run", None)
 
     @property
     def last_load_stats(self) -> EngineStats:
@@ -239,6 +274,18 @@ class MaterializedKB:
 
     def ask(self, patterns: Iterable[Atom]) -> bool:
         return BGPQuery(list(patterns)).ask(self._closed)
+
+    def id_index(self, store: str = "dense") -> IdIndex:
+        """An id-native vectorized query index over the closed KB
+        (:mod:`repro.rdf.idquery`) — the fast read path for repeated
+        queries.  Cached per store kind; the index keys on the closed
+        graph's version counter, so the first query after an
+        :meth:`add`/:meth:`apply` transparently rebuilds the mirror."""
+        cached = self._id_indexes.get(store)
+        if cached is None:
+            cached = self._id_indexes[store] = IdIndex(
+                self._closed, store=store)
+        return cached
 
     def __repr__(self) -> str:
         return (

@@ -52,7 +52,7 @@ import multiprocessing as mp
 import os
 import queue as queue_mod
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.datalog.ast import Rule
@@ -144,6 +144,11 @@ class AsyncRunResult:
     #: Final sent/consumed counters (exposed for the termination tests).
     forwarded: list[int]
     consumed: list[int]
+    #: The partition workers, still resident after an in-process run (the
+    #: serving tier and the id-native distributed query engine answer
+    #: straight from their stores).  Empty for multiprocess runs, whose
+    #: workers died with their host processes.
+    workers: list[PartitionWorker] = field(default_factory=list)
 
 
 # -- in-process executor ------------------------------------------------------
@@ -385,6 +390,7 @@ def run_async_inprocess(
         stats=stats,
         forwarded=list(det.forwarded),
         consumed=list(det.consumed),
+        workers=list(workers),
     )
 
 
@@ -556,6 +562,7 @@ def run_apply_inprocess(
         stats=stats,
         forwarded=list(det.forwarded),
         consumed=list(det.consumed),
+        workers=list(workers),
     )
 
 

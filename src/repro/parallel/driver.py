@@ -64,6 +64,12 @@ class ParallelRunResult:
     #: run would (the backward bootstrap contributes only to the
     #: per-round ``work`` scalar in :attr:`stats`, not here).
     engine_stats: EngineStats = field(default_factory=EngineStats)
+    #: The partition workers, still resident after the run.  The id-native
+    #: distributed query engine
+    #: (:meth:`~repro.parallel.query.DistributedQueryEngine.from_workers`)
+    #: and the serving tier (:mod:`repro.serving`) answer straight from
+    #: their columnar stores instead of the aggregated union.
+    workers: list[PartitionWorker] = field(default_factory=list)
 
     @property
     def k(self) -> int:
@@ -301,6 +307,7 @@ class ParallelReasoner:
             data_partitioning=data_result,
             rule_partitioning=rule_result,
             engine_stats=engine_stats,
+            workers=workers,
         )
 
     # -- the asynchronous run --------------------------------------------------

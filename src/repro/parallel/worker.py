@@ -26,11 +26,11 @@ time dwarfs IO).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Literal, Sequence
+from typing import Iterable, Literal, Mapping, Sequence
 
 import numpy as np
 
-from repro.datalog.ast import Rule
+from repro.datalog.ast import Atom, Rule
 from repro.datalog.backward import materialize_backward
 from repro.datalog.columnar import ColumnarEngine, Columns
 from repro.datalog.engine import EngineStats, SemiNaiveEngine
@@ -39,13 +39,19 @@ from repro.parallel.messages import EncodedBatch, Message, RemovalBatch, TupleBa
 from repro.parallel.routing import Router
 from repro.rdf.dictionary import PartitionDictionary
 from repro.rdf.graph import Graph
-from repro.rdf.idstore import IdGraph
+from repro.rdf.idstore import IdGraph, member_mask
 from repro.rdf.runstore import RunStore
-from repro.rdf.terms import Term
+from repro.rdf.terms import Term, Variable
 from repro.rdf.triple import Triple
 from repro.util.timing import Stopwatch
 
 Strategy = Literal["forward", "backward"]
+
+#: Pseudo-destination for coordinator-bound query answers.  Shares the
+#: per-destination ship-once delta-dictionary bookkeeping with real peers
+#: but can never collide with a node id (the same convention as
+#: master-originated batches, which use ``sender=-1``).
+QUERY_DEST = -1
 
 
 def _concat_columns(parts: Sequence[Columns]) -> Columns:
@@ -519,6 +525,179 @@ class PartitionWorker:
             )
             for dest, dest_rows in sorted(rows_by_dest.items())
         ]
+
+    # -- distributed query answering (id-native only) ----------------------------
+
+    def begin_query_session(self) -> None:
+        """Reset the ship-once delta bookkeeping for coordinator-bound
+        query answers.  Each :class:`~repro.parallel.query.
+        DistributedQueryEngine` gather starts from a blank coordinator
+        dictionary, so the first answers of a session must re-ship every
+        non-base result id's term."""
+        self._known_by_dest.pop(QUERY_DEST, None)
+
+    def answer_pattern(
+        self,
+        pattern: Atom,
+        bound_ids: Mapping[int, np.ndarray] | None = None,
+        delta: Sequence[tuple[int, Term]] = (),
+    ) -> tuple[EncodedBatch, int]:
+        """Local matches for one triple pattern, as an id-encoded batch —
+        the scatter half of the distributed query fast path.
+
+        ``delta`` registers coordinator-shipped ``(id, term)`` pairs so
+        the ``bound_ids`` semi-join sets (pattern position -> candidate
+        ids in the coordinator's space) translate into this worker's id
+        space.  The smallest set is pushed *into* the index probe — one
+        batched range lookup over its candidates — and the rest filter
+        the surfaced rows by sorted-set membership, so only rows that can
+        still join at the coordinator are shipped back.  Result ids
+        outside the base stripe travel with a delta-dictionary entry at
+        most once per query session (:meth:`begin_query_session`).
+
+        Returns ``(batch, probes)``: ``probes`` counts the candidate rows
+        the index surfaced before any filtering, the same work unit the
+        term-level scatter reports.
+        """
+        if not self.id_native:
+            raise RuntimeError(
+                "answer_pattern requires an id-native columnar worker "
+                "(engine='columnar' with the id wire protocol)")
+        d = self.dictionary
+        idg = self._idgraph
+        assert d is not None and idg is not None
+        if delta:
+            d.apply_delta(delta)
+        empty = np.empty(0, dtype=np.int64)
+
+        def batch_of(s: np.ndarray, p: np.ndarray, o: np.ndarray,
+                     probes: int) -> tuple[EncodedBatch, int]:
+            out_delta: list[tuple[int, Term]] = []
+            base_size = d.base_size
+            nonbase = np.concatenate(
+                [s[s >= base_size], p[p >= base_size], o[o >= base_size]])
+            if len(nonbase):
+                known = self._known_by_dest.setdefault(QUERY_DEST, set())
+                for tid in np.unique(nonbase).tolist():
+                    if tid not in known:
+                        known.add(tid)
+                        out_delta.append((tid, d.decode(tid)))
+            return (
+                EncodedBatch(self.node_id, QUERY_DEST, self.round_no,
+                             s, p, o, tuple(out_delta)),
+                probes,
+            )
+
+        # Constant positions: a term this partition's dictionary has
+        # never seen cannot occur in its store.
+        const_items: list[tuple[int, int]] = []
+        var_first: dict[Variable, int] = {}
+        dup_checks: list[tuple[int, int]] = []
+        for pos, term in enumerate(pattern):
+            if isinstance(term, Variable):
+                if term in var_first:
+                    dup_checks.append((pos, var_first[term]))
+                else:
+                    var_first[term] = pos
+            else:
+                tid = d.get(term)
+                if tid is None:
+                    return batch_of(empty, empty, empty, 0)
+                const_items.append((pos, tid))
+
+        # Semi-join sets, translated to local ids.  Sets stay sorted
+        # (np.unique) for the membership filter below.
+        sets: dict[int, np.ndarray] = {}
+        for pos, ids in (bound_ids or {}).items():
+            sets[pos] = np.unique(
+                d.canonical_ids(np.asarray(ids, dtype=np.int64)))
+
+        if sets:
+            anchor_pos = min(sets, key=lambda pos: len(sets[pos]))
+            anchor = sets.pop(anchor_pos)
+            if len(anchor) == 0:
+                return batch_of(empty, empty, empty, 0)
+            items = [(anchor_pos, anchor)] + [
+                (pos, np.full(len(anchor), tid, dtype=np.int64))
+                for pos, tid in const_items
+            ]
+        elif const_items:
+            items = [(pos, np.asarray([tid], dtype=np.int64))
+                     for pos, tid in const_items]
+        else:
+            items = []
+
+        if items:
+            items.sort(key=lambda item: item[0])
+            vals, reps = idg.probe(
+                tuple(pos for pos, _col in items),
+                tuple(col for _pos, col in items),
+            )
+            probes = len(reps)
+        else:
+            vals = idg.columns()
+            probes = len(vals[0])
+        if len(vals[0]) and (sets or dup_checks):
+            mask = np.ones(len(vals[0]), dtype=bool)
+            for pos, members in sets.items():
+                mask &= member_mask(members, vals[pos])
+            for pos, first in dup_checks:
+                mask &= vals[pos] == vals[first]
+            vals = (vals[0][mask], vals[1][mask], vals[2][mask])
+        return batch_of(vals[0], vals[1], vals[2], probes)
+
+    @property
+    def store_version(self) -> int:
+        """The columnar store's monotone row-set version (id-native only)
+        — the serving tier's result-cache key: it moves exactly when the
+        store's logical row set changes."""
+        if self._idgraph is None:
+            raise RuntimeError("store_version requires an id-native worker")
+        return self._idgraph.version
+
+    def apply_closure_delta(
+        self,
+        adds: Iterable[Triple] = (),
+        removes: Iterable[Triple] = (),
+    ) -> tuple[int, int]:
+        """Edit the local closure store directly (the serving tier's
+        update propagation: the coordinator runs DRed over the
+        authoritative KB and pushes the *net* closure delta here).
+
+        ``adds`` are encoded (minting local ids as needed) and inserted;
+        ``removes`` are looked up without minting — a term this worker's
+        dictionary has never seen cannot occur in its store, so such rows
+        are skipped.  Returns ``(rows added, rows removed)``; the store's
+        version counter moves iff the row set changed, which is what
+        invalidates version-keyed result caches.
+        """
+        if not self.id_native:
+            raise RuntimeError(
+                "apply_closure_delta requires an id-native columnar worker")
+        d = self.dictionary
+        idg = self._idgraph
+        assert d is not None and idg is not None
+        removed = 0
+        rm_rows: list[tuple[int, int, int]] = []
+        for t in removes:
+            s_id, p_id, o_id = d.get(t.s), d.get(t.p), d.get(t.o)
+            if s_id is None or p_id is None or o_id is None:
+                continue
+            rm_rows.append((s_id, p_id, o_id))
+        if rm_rows:
+            arr = np.asarray(rm_rows, dtype=np.int64)
+            removed = idg.delete_rows(
+                arr[:, 0].copy(), arr[:, 1].copy(), arr[:, 2].copy())
+        added = 0
+        add_list = list(adds)
+        if add_list:
+            enc = d.encode
+            s_arr = np.asarray([enc(t.s) for t in add_list], dtype=np.int64)
+            p_arr = np.asarray([enc(t.p) for t in add_list], dtype=np.int64)
+            o_arr = np.asarray([enc(t.o) for t in add_list], dtype=np.int64)
+            fresh = idg.add_rows(s_arr, p_arr, o_arr)
+            added = len(fresh[0])
+        return added, removed
 
     # -- distributed DRed (id-native only) --------------------------------------
 

@@ -16,6 +16,7 @@ from repro.rdf.dictionary import EncodedGraph, PartitionDictionary, TermDictiona
 from repro.rdf.idstore import IdGraph
 from repro.rdf.runstore import RunStore
 from repro.rdf.query import BGPQuery, BGPStats
+from repro.rdf.idquery import IdBGPQuery, IdIndex
 from repro.rdf.turtle import (
     TurtleParseError,
     parse_turtle,
@@ -52,6 +53,8 @@ __all__ = [
     "Graph",
     "BGPQuery",
     "BGPStats",
+    "IdBGPQuery",
+    "IdIndex",
     "TermDictionary",
     "PartitionDictionary",
     "EncodedGraph",

@@ -108,7 +108,7 @@ class IdGraph:
     """
 
     __slots__ = ("_s", "_p", "_o", "_n", "_views", "_tail_views",
-                 "_tail_threshold")
+                 "_tail_threshold", "_version")
 
     def __init__(
         self, capacity: int = 0, tail_threshold: int | None = None
@@ -133,9 +133,19 @@ class IdGraph:
         #: store), ``0`` = always rebuild (the pre-tail-probing behavior,
         #: kept for the ablation microbench).
         self._tail_threshold = tail_threshold
+        #: Monotone content version: bumped whenever the row set actually
+        #: changes.  Anything derived from the rows (result caches, query
+        #: mirrors) keys on this and is thereby invalidated by mutation.
+        self._version = 0
 
     def __len__(self) -> int:
         return self._n
+
+    @property
+    def version(self) -> int:
+        """Monotone counter distinguishing row-set states (caches key on
+        it, mirroring :attr:`repro.rdf.graph.Graph.version`)."""
+        return self._version
 
     def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The live ``(s, p, o)`` columns (views, not copies — treat as
@@ -184,6 +194,7 @@ class IdGraph:
             self._p[n: n + len(p)] = p
             self._o[n: n + len(o)] = o
             self._n = n + len(s)
+            self._version += 1
         return s, p, o
 
     def delete_rows(self, s: np.ndarray, p: np.ndarray, o: np.ndarray) -> int:
@@ -213,6 +224,7 @@ class IdGraph:
         self._n = n - len(rows)
         self._views.clear()
         self._tail_views.clear()
+        self._version += 1
         return len(rows)
 
     # -- queries ----------------------------------------------------------
@@ -315,6 +327,20 @@ class IdGraph:
         if len(parts_rows) == 1:
             return parts_rows[0], parts_reps[0]
         return np.concatenate(parts_rows), np.concatenate(parts_reps)
+
+    def count_matching(
+        self, positions: tuple[int, ...], query_cols: tuple[np.ndarray, ...]
+    ) -> np.ndarray:
+        """Per-query count of matching rows, without materializing them —
+        one searchsorted pair per view segment.  This is the cardinality
+        estimate feeding join ordering in :mod:`repro.rdf.idquery`."""
+        query_keys = pack_columns(query_cols)
+        total = np.zeros(len(query_keys), dtype=np.int64)
+        for keys, _perm in self._view_parts(positions):
+            lo = np.searchsorted(keys, query_keys, side="left")
+            hi = np.searchsorted(keys, query_keys, side="right")
+            total += hi - lo
+        return total
 
     def probe(
         self, positions: tuple[int, ...], query_cols: tuple[np.ndarray, ...]

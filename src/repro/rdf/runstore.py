@@ -501,12 +501,21 @@ class RunStore:
         self._cache: OrderedDict[_CacheKey, tuple[np.ndarray, ...]] = (
             OrderedDict())
         self._cache_used = 0
+        #: Monotone content version (see :attr:`IdGraph.version`): bumped
+        #: whenever the logical row set changes, never by reorganization
+        #: (seals, merges, spills keep the version).
+        self._version = 0
 
     # -- basic surface ----------------------------------------------------
 
     def __len__(self) -> int:
         return (len(self._tail) + sum(r.n_rows for r in self._runs)
                 - len(self._tombs))
+
+    @property
+    def version(self) -> int:
+        """Monotone counter distinguishing logical row-set states."""
+        return self._version
 
     def __repr__(self) -> str:
         return (f"<RunStore with {len(self)} rows in {len(self._runs)} "
@@ -571,6 +580,8 @@ class RunStore:
             start = end
         if len(self._tail) >= self.tail_rows:
             self._seal()
+        if len(s):
+            self._version += 1
         return s, p, o
 
     def delete_rows(self, s: np.ndarray, p: np.ndarray, o: np.ndarray) -> int:
@@ -596,6 +607,7 @@ class RunStore:
         sealed = ~in_tail
         if sealed.any():
             self._tombs.add_rows(s[sealed], p[sealed], o[sealed])
+        self._version += 1
         return len(s)
 
     def _next_serial(self) -> int:
@@ -927,6 +939,38 @@ class RunStore:
         if len(parts_cols) == 1:
             return parts_cols[0], parts_reps[0]
         return _concat3(parts_cols), np.concatenate(parts_reps)
+
+    def count_matching(
+        self, positions: tuple[int, ...], query_cols: tuple[np.ndarray, ...]
+    ) -> np.ndarray:
+        """Per-query count of rows matching the bound positions, summed
+        over every run and the tail — the cardinality estimate feeding
+        join ordering in :mod:`repro.rdf.idquery`.  Sealed matches are
+        counted *before* tombstone filtering (an upper bound when
+        tombstones are pending; exact otherwise): ordering only needs
+        relative magnitudes, and exactness would force materializing the
+        rows this method exists to avoid."""
+        order = order_for(positions)
+        prefix = order[:len(positions)]
+        by_pos = dict(zip(positions, query_cols))
+        ordered_q = tuple(by_pos[pos] for pos in prefix)
+        total = self._tail.count_matching(positions, query_cols)
+        query = pack_columns(ordered_q)
+        for run in self._runs:
+            idx = self._index(run, order)
+            if idx.n_rows == 0:
+                continue
+            if self._whole_run_fits(idx):
+                _cols, keys = self._full_arrays(idx, len(prefix))
+            else:
+                blocks = self._needed_blocks(idx, ordered_q)
+                if len(blocks) == 0:
+                    continue
+                _cols, keys = self._union_arrays(idx, blocks, len(prefix))
+            lo = np.searchsorted(keys, query, side="left")
+            hi = np.searchsorted(keys, query, side="right")
+            total = total + (hi - lo)
+        return total
 
     def contains_rows(
         self, s: np.ndarray, p: np.ndarray, o: np.ndarray

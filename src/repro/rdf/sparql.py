@@ -15,14 +15,18 @@ Supported grammar::
 
     query    := prefix* (select | ask)
     prefix   := 'PREFIX' NAME ':' IRIREF
-    select   := 'SELECT' ('*' | var+) 'WHERE'? '{' pattern* '}'
+    select   := 'SELECT' 'DISTINCT'? ('*' | var+) 'WHERE'?
+                '{' pattern* '}' ('LIMIT' INTEGER)?
     ask      := 'ASK' 'WHERE'? '{' pattern* '}'
     pattern  := term term term '.'?      -- with ';'/',' lists as in Turtle
     term     := var | IRIREF | pname | literal | 'a'
 
-No OPTIONAL / FILTER / UNION / property paths — those are outside what a
-conjunctive-pattern engine answers; the parser rejects them by name with a
-pointed error instead of a generic syntax failure.
+``DISTINCT`` is accepted (and recorded) because the engine's ``select``
+already returns distinct sorted rows — the flag documents intent rather
+than changing the result; ``LIMIT n`` truncates the sorted rows, so it is
+deterministic.  No OPTIONAL / FILTER / UNION / property paths — those are
+outside what a conjunctive-pattern engine answers; the parser rejects
+them by name with a pointed error instead of a generic syntax failure.
 """
 
 from __future__ import annotations
@@ -48,8 +52,9 @@ class SparqlParseError(ValueError):
 
 
 _UNSUPPORTED = {
-    "OPTIONAL", "FILTER", "UNION", "GRAPH", "ORDER", "GROUP", "LIMIT",
+    "OPTIONAL", "FILTER", "UNION", "GRAPH", "ORDER", "GROUP",
     "OFFSET", "DESCRIBE", "CONSTRUCT", "MINUS", "BIND", "VALUES",
+    "REDUCED",
 }
 
 
@@ -60,6 +65,13 @@ class ParsedQuery:
     form: str  # "select" | "ask"
     projection: tuple[Variable, ...]  # empty tuple = SELECT *
     bgp: BGPQuery
+    #: SELECT DISTINCT was written.  The engine's ``select`` always
+    #: returns distinct rows, so this records intent without changing
+    #: the result.
+    distinct: bool = False
+    #: LIMIT n, or None for all rows.  Applied after the deterministic
+    #: sort, so a limited query is reproducible.
+    limit: int | None = None
 
     def execute(self, graph: Graph):
         return self.bgp.execute(graph)
@@ -71,7 +83,10 @@ class ParsedQuery:
         variables = self.projection or tuple(
             sorted(self.bgp.variables(), key=lambda v: v.name)
         )
-        return self.bgp.select(graph, *variables)
+        rows = self.bgp.select(graph, *variables)
+        if self.limit is not None:
+            rows = rows[: self.limit]
+        return rows
 
 
 class _SparqlParser:
@@ -108,9 +123,9 @@ class _SparqlParser:
         form_tok = self.next()
         form = form_tok.text.upper() if form_tok.kind == "bareword" else ""
         if form == "SELECT":
-            return self._select()
+            return self._finish(self._select())
         if form == "ASK":
-            return self._ask()
+            return self._finish(self._ask())
         if form in _UNSUPPORTED:
             raise SparqlParseError(
                 f"{form} is outside the supported SPARQL subset "
@@ -119,6 +134,16 @@ class _SparqlParser:
         raise SparqlParseError(
             f"expected SELECT or ASK, found {form_tok.text!r}"
         )
+
+    def _finish(self, query: ParsedQuery) -> ParsedQuery:
+        """Reject trailing tokens (e.g. ``LIMIT`` after an ASK, where it
+        has no meaning) instead of silently ignoring them."""
+        tok = self.peek()
+        if tok is not None:
+            raise SparqlParseError(
+                f"unexpected {tok.text!r} after the end of the query"
+            )
+        return query
 
     def _prefix(self) -> None:
         name_tok = self.next()
@@ -134,6 +159,12 @@ class _SparqlParser:
     def _select(self) -> ParsedQuery:
         projection: list[Variable] = []
         star = False
+        distinct = False
+        tok = self.peek()
+        if tok is not None and tok.kind == "bareword" \
+                and tok.text.upper() == "DISTINCT":
+            distinct = True
+            self.next()
         while True:
             tok = self.peek()
             if tok is None:
@@ -160,7 +191,31 @@ class _SparqlParser:
             form="select",
             projection=() if star else tuple(projection),
             bgp=bgp,
+            distinct=distinct,
+            limit=self._limit(),
         )
+
+    def _limit(self) -> int | None:
+        """An optional trailing ``LIMIT <n>`` solution modifier."""
+        tok = self.peek()
+        if tok is None or not (
+            tok.kind == "bareword" and tok.text.upper() == "LIMIT"
+        ):
+            return None
+        self.next()
+        count_tok = self.peek()
+        if (
+            count_tok is None
+            or count_tok.kind != "number"
+            or any(c in count_tok.text for c in ".eE-")
+        ):
+            found = "end of query" if count_tok is None \
+                else repr(count_tok.text)
+            raise SparqlParseError(
+                f"LIMIT needs a non-negative integer, found {found}"
+            )
+        self.next()
+        return int(count_tok.text)
 
     def _ask(self) -> ParsedQuery:
         tok = self.peek()

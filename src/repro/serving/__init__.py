@@ -1,0 +1,36 @@
+"""Resident serving tier over the partitioned, materialized KB.
+
+The paper's motivation for materialization is the read path: once the
+closure is on disk "queries become plain pattern matching" and suit
+"application domains where the frequency of data being added is much
+smaller than that of queries" (Section I).  This package is that
+deployment story: :class:`KBServer` keeps the parallel run's partition
+workers *resident* after closure and answers BGP/SPARQL queries straight
+from their id-native columnar stores — no aggregation step, no term
+materialization on the hot path — with request batching, bounded-queue
+admission control, and per-worker result caches keyed on store versions
+(invalidated by the DRed write path, :meth:`MaterializedKB.apply`).
+
+:mod:`repro.serving.loadgen` is the multi-client load driver behind
+``BENCH_serving.json`` (QPS and p50/p99 per concurrency level).
+"""
+
+from repro.serving.server import (
+    KBServer,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingStats,
+    WorkerResultCache,
+)
+from repro.serving.loadgen import LoadReport, run_load, write_serving_bench
+
+__all__ = [
+    "KBServer",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "ServingStats",
+    "WorkerResultCache",
+    "LoadReport",
+    "run_load",
+    "write_serving_bench",
+]

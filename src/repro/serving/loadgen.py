@@ -1,0 +1,151 @@
+"""Multi-client load driver for the serving tier.
+
+Deterministic closed-loop load: ``concurrency`` client threads each issue
+``requests_per_client`` queries back-to-back (round-robin over the query
+mix, offset per client so concurrent clients interleave different
+queries), measuring per-request wall latency.  The report carries the
+serving headline numbers — QPS and p50/p99 latency — plus the admission
+and cache counters for the run window.
+
+:func:`write_serving_bench` serializes a list of reports into the
+``BENCH_serving.json`` schema CI archives (one entry per concurrency
+level, mirroring ``BENCH_core.json``'s one-file-per-area convention).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.datalog.ast import Atom
+from repro.rdf.query import BGPQuery
+from repro.serving.server import KBServer, ServerOverloadedError
+
+Query = "BGPQuery | Sequence[Atom]"
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One load run at one concurrency level."""
+
+    label: str
+    concurrency: int
+    requests: int
+    completed: int
+    rejected: int
+    duration_s: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    #: Result-cache hit rate over this run's window (not the server's
+    #: lifetime — computed from before/after counter snapshots).
+    cache_hit_rate: float
+
+
+def run_load(
+    server: KBServer,
+    queries: Sequence[BGPQuery | Sequence[Atom]],
+    concurrency: int,
+    requests_per_client: int,
+    label: str = "",
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Drive ``server`` with ``concurrency`` closed-loop clients and
+    report throughput and tail latency.
+
+    An admission rejection (:class:`ServerOverloadedError`) counts as a
+    rejected request, not a latency sample — the tail percentiles
+    describe *served* requests, the rejection count describes the
+    admission controller.
+    """
+    if concurrency <= 0:
+        raise ValueError(f"concurrency must be positive, got {concurrency}")
+    if not queries:
+        raise ValueError("need at least one query")
+    before = server.stats
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    rejected = [0] * concurrency
+    errors: list[BaseException] = []
+    start_barrier = threading.Barrier(concurrency + 1)
+
+    def client(idx: int) -> None:
+        try:
+            start_barrier.wait(timeout=timeout)
+            for j in range(requests_per_client):
+                q = queries[(idx + j) % len(queries)]
+                t0 = time.perf_counter()
+                try:
+                    server.query(q, timeout=timeout)
+                except ServerOverloadedError:
+                    rejected[idx] += 1
+                    continue
+                latencies[idx].append(time.perf_counter() - t0)
+        except Exception as exc:  # reraised below on the caller's thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    start_barrier.wait(timeout=timeout)
+    t_start = time.perf_counter()
+    for t in threads:
+        t.join(timeout=timeout * max(1, requests_per_client))
+    duration = time.perf_counter() - t_start
+    if errors:
+        raise errors[0]
+
+    flat = [lat for per_client in latencies for lat in per_client]
+    completed = len(flat)
+    after = server.stats
+    window_hits = after.cache_hits - before.cache_hits
+    window_misses = after.cache_misses - before.cache_misses
+    window_total = window_hits + window_misses
+    samples = np.asarray(flat) if flat else np.zeros(1)
+    return LoadReport(
+        label=label,
+        concurrency=concurrency,
+        requests=concurrency * requests_per_client,
+        completed=completed,
+        rejected=sum(rejected),
+        duration_s=round(duration, 6),
+        qps=round(completed / duration, 2) if duration > 0 else 0.0,
+        p50_ms=round(float(np.percentile(samples, 50)) * 1000, 3),
+        p99_ms=round(float(np.percentile(samples, 99)) * 1000, 3),
+        cache_hit_rate=(
+            round(window_hits / window_total, 4) if window_total else 0.0),
+    )
+
+
+def write_serving_bench(
+    path: str | Path,
+    reports: Sequence[LoadReport],
+    meta: dict | None = None,
+) -> dict:
+    """Write ``BENCH_serving.json``: one record per concurrency level
+    plus a headline block (best QPS and its p99) for the trajectory
+    tracker.  Returns the written payload."""
+    if not reports:
+        raise ValueError("need at least one report")
+    best = max(reports, key=lambda r: r.qps)
+    payload = {
+        "meta": dict(meta or {}),
+        "levels": [asdict(r) for r in reports],
+        "headline": {
+            "concurrency": best.concurrency,
+            "qps": best.qps,
+            "p50_ms": best.p50_ms,
+            "p99_ms": best.p99_ms,
+            "cache_hit_rate": best.cache_hit_rate,
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

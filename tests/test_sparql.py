@@ -77,6 +77,59 @@ class TestParsing:
             parse_sparql(text)
 
 
+class TestSolutionModifiers:
+    def test_distinct_flag(self):
+        q = parse_sparql(P + "SELECT DISTINCT ?a WHERE { ?a ex:knows ?b }")
+        assert q.distinct is True
+        assert [v.name for v in q.projection] == ["a"]
+        plain = parse_sparql(P + "SELECT ?a WHERE { ?a ex:knows ?b }")
+        assert plain.distinct is False
+
+    def test_distinct_star(self):
+        q = parse_sparql(P + "SELECT DISTINCT * WHERE { ?a ex:knows ?b }")
+        assert q.distinct is True and q.projection == ()
+
+    def test_limit_parsed(self):
+        q = parse_sparql(P + "SELECT ?x WHERE { ?x a ex:Person } LIMIT 7")
+        assert q.limit == 7
+        assert parse_sparql(P + "SELECT ?x { ?x a ex:Person }").limit is None
+
+    def test_limit_truncates_sorted_rows(self, graph):
+        rows = run_sparql(
+            graph, P + "SELECT ?x WHERE { ?x a ex:Person } LIMIT 1")
+        # deterministic: the sorted result's first row, not an arbitrary one
+        assert rows == [(u("alice"),)]
+        assert run_sparql(
+            graph, P + "SELECT ?x WHERE { ?x a ex:Person } LIMIT 0") == []
+
+    def test_limit_larger_than_result(self, graph):
+        rows = run_sparql(
+            graph, P + "SELECT ?x WHERE { ?x a ex:Person } LIMIT 99")
+        assert rows == [(u("alice"),), (u("bob"),)]
+
+    def test_distinct_matches_plain_select(self, graph):
+        # the engine already returns distinct rows, so DISTINCT is a no-op
+        text = "SELECT %s ?x WHERE { ?x a ex:Person ; ex:knows ?y }"
+        assert run_sparql(graph, P + text % "DISTINCT") == \
+            run_sparql(graph, P + text % "")
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("ASK { ?x ?p ?y } LIMIT 2", "unexpected 'LIMIT'"),
+            ("SELECT ?x { ?x ?p ?y } LIMIT -1", "non-negative integer"),
+            ("SELECT ?x { ?x ?p ?y } LIMIT 1.5", "non-negative integer"),
+            ("SELECT ?x { ?x ?p ?y } LIMIT", "non-negative integer"),
+            ("SELECT ?x { ?x ?p ?y } LIMIT ?n", "non-negative integer"),
+            ("SELECT REDUCED ?x { ?x ?p ?y }", "REDUCED"),
+            ("SELECT ?x { ?x ?p ?y } OFFSET 2", "OFFSET"),
+        ],
+    )
+    def test_modifier_errors_stay_pointed(self, text, match):
+        with pytest.raises(SparqlParseError, match=match):
+            parse_sparql(text)
+
+
 class TestExecution:
     def test_select(self, graph):
         rows = run_sparql(graph, P + "SELECT ?x WHERE { ?x a ex:Person . }")

@@ -23,17 +23,27 @@ CORE = {
     "speedup": 2.31,
     "columnar": {"seconds": 0.05, "triples_per_sec": 216619},
     "runstore": {"run_store": {"bytes_per_triple": 8.17}},
+    "idquery": {"speedup": 51.3},
+}
+
+SERVING = {
+    "levels": [{"concurrency": 1}, {"concurrency": 4}],
+    "headline": {"concurrency": 4, "qps": 1100.5, "p50_ms": 2.1,
+                 "p99_ms": 9.7, "cache_hit_rate": 0.9},
 }
 
 
 def test_summary_row_pulls_headline_fields():
-    row = trajectory.summary_row(CORE)
+    row = trajectory.summary_row(CORE, SERVING)
     assert row == {
         "dataset": "LUBM(8)",
         "closure_triples": 11534,
         "speedup": 2.31,
         "triples_per_sec": 216619,
         "bytes_per_triple": 8.17,
+        "query_speedup": 51.3,
+        "serving_qps": 1100.5,
+        "serving_p99_ms": 9.7,
     }
 
 
@@ -43,6 +53,28 @@ def test_summary_row_tolerates_missing_sections():
     assert row["speedup"] == 1.5
     assert row["triples_per_sec"] is None
     assert row["bytes_per_triple"] is None
+    assert row["query_speedup"] is None
+    assert row["serving_qps"] is None
+    assert row["serving_p99_ms"] is None
+
+
+def test_serving_snapshot_joins_the_row(tmp_path):
+    core = tmp_path / "core.json"
+    core.write_text(json.dumps(CORE), encoding="utf-8")
+    serving = tmp_path / "serving.json"
+    serving.write_text(json.dumps(SERVING), encoding="utf-8")
+    traj = tmp_path / "traj.json"
+    assert trajectory.append_snapshot(
+        core, traj, date="2026-08-08", serving_path=serving) is True
+    rows = json.loads(traj.read_text(encoding="utf-8"))
+    assert rows[0]["serving_qps"] == 1100.5
+    assert rows[0]["serving_p99_ms"] == 9.7
+    # a missing serving snapshot degrades to None fields, not a failure
+    assert trajectory.append_snapshot(
+        core, traj, date="2026-08-09",
+        serving_path=tmp_path / "absent.json") is True
+    rows = json.loads(traj.read_text(encoding="utf-8"))
+    assert rows[1]["serving_qps"] is None
 
 
 def test_append_creates_then_dedups(tmp_path):
@@ -84,8 +116,11 @@ def test_committed_trajectory_matches_committed_core():
     a new snapshot without the appended row fails here, which is the
     'called from bench CI' contract enforced locally."""
     core = json.loads((REPO_ROOT / "BENCH_core.json").read_text("utf-8"))
+    serving_path = REPO_ROOT / "BENCH_serving.json"
+    serving = (json.loads(serving_path.read_text("utf-8"))
+               if serving_path.exists() else None)
     rows = json.loads((REPO_ROOT / "BENCH_trajectory.json").read_text("utf-8"))
     assert rows, "BENCH_trajectory.json must hold at least one row"
-    expected = trajectory.summary_row(core)
+    expected = trajectory.summary_row(core, serving)
     latest = {k: v for k, v in rows[-1].items() if k != "date"}
     assert latest == expected
